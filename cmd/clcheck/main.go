@@ -1,0 +1,73 @@
+// Command clcheck parses and semantically checks OpenCL C kernel files
+// against the subset the clc front end supports (the subset the GEMM
+// code generator emits). Exit status 0 when every file checks.
+//
+// Usage: clcheck file.cl [file2.cl ...]
+// With no arguments, reads a single translation unit from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"oclgemm/internal/clc"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: clcheck [file.cl ...]\n")
+		flag.PrintDefaults()
+	}
+	verbose := flag.Bool("v", false, "list kernels and their parameters")
+	flag.Parse()
+
+	fail := false
+	check := func(name, src string) {
+		prog, err := clc.Compile(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			fail = true
+			return
+		}
+		fmt.Printf("%s: OK (%d kernel(s))\n", name, len(prog.Kernels))
+		if *verbose {
+			for _, k := range prog.Kernels {
+				fmt.Printf("  __kernel %s(", k.Name)
+				for i, p := range k.Params {
+					if i > 0 {
+						fmt.Print(", ")
+					}
+					ptr := ""
+					if p.Pointer {
+						ptr = "*"
+					}
+					fmt.Printf("%s%s %s", p.Type, ptr, p.Name)
+				}
+				fmt.Println(")")
+			}
+		}
+	}
+
+	if flag.NArg() == 0 {
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		check("<stdin>", string(src))
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			fail = true
+			continue
+		}
+		check(path, string(data))
+	}
+	if fail {
+		os.Exit(1)
+	}
+}

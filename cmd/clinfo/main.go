@@ -1,0 +1,48 @@
+// Command clinfo prints the simulated OpenCL platform and the processor
+// catalog (the paper's Table I), in the style of the clinfo utility.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oclgemm/internal/clsim"
+	"oclgemm/internal/experiments"
+	"oclgemm/internal/matrix"
+)
+
+func main() {
+	table := flag.Bool("table", false, "print Table I instead of the per-device listing")
+	flag.Parse()
+
+	if *table {
+		fmt.Print(experiments.NewSession(experiments.Config{}).Table1().Render())
+		return
+	}
+
+	p := clsim.DefaultPlatform()
+	fmt.Printf("Platform:     %s\n", p.Name)
+	fmt.Printf("Vendor:       %s\n", p.Vendor)
+	fmt.Printf("Version:      %s\n", p.Version)
+	fmt.Printf("Devices:      %d\n\n", len(p.Devices))
+	for _, d := range p.Devices {
+		s := d.Spec
+		fmt.Printf("Device %q (%s)\n", s.CodeName, s.ID)
+		fmt.Printf("  Product:            %s\n", s.Product)
+		fmt.Printf("  Type:               %s\n", s.Kind)
+		fmt.Printf("  Clock:              %.3f GHz\n", s.ClockGHz)
+		fmt.Printf("  Compute units:      %d\n", s.ComputeUnits)
+		fmt.Printf("  Peak DP / SP:       %.1f / %.1f GFlop/s\n",
+			s.PeakGFlops(matrix.Double), s.PeakGFlops(matrix.Single))
+		fmt.Printf("  Global memory:      %g GB @ %g GB/s\n", s.GlobalMemGB, s.BandwidthGBs)
+		fmt.Printf("  Local memory:       %d kB (%s)\n", s.LocalMemKB, s.LocalMem)
+		fmt.Printf("  Max work-group:     %d\n", s.MaxWGSize)
+		fmt.Printf("  OpenCL SDK:         %s\n", s.OpenCLSDK)
+		if s.Driver != "" {
+			fmt.Printf("  Driver:             %s\n", s.Driver)
+		}
+		fmt.Println()
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,94 @@
+// Command gemmbench regenerates the paper's evaluation: Tables I-III,
+// Figures 7-11, and the ablations the analysis calls out. Output is the
+// same rows/series the paper reports, as aligned text or CSV.
+//
+// Usage:
+//
+//	gemmbench -exp all
+//	gemmbench -exp table2 -budget 25000
+//	gemmbench -exp fig9 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"oclgemm/internal/experiments"
+	"oclgemm/internal/matrix"
+)
+
+// renderable is anything the harness can print.
+type renderable interface {
+	Render() string
+	CSV() string
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gemmbench: ")
+
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, fig7, fig8, fig9, fig10, fig11, ablation-lds, ablation-layout, bank-conflict, cypress, portability")
+	budget := flag.Int("budget", 12000, "tuner stage-1 candidate budget per search")
+	maxSize := flag.Int("maxsize", 8192, "largest stage-2 problem size")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	s := experiments.NewSession(experiments.Config{MaxCandidates: *budget, MaxSize: *maxSize})
+
+	type job struct {
+		id  string
+		run func() (renderable, error)
+	}
+	jobs := []job{
+		{"table1", func() (renderable, error) { return s.Table1(), nil }},
+		{"table2", func() (renderable, error) { return s.Table2() }},
+		{"table3", func() (renderable, error) { return s.Table3() }},
+		{"fig7", func() (renderable, error) { return s.Fig7(matrix.Double) }},
+		{"fig7s", func() (renderable, error) { return s.Fig7(matrix.Single) }},
+		{"fig8", func() (renderable, error) { return s.Fig8() }},
+		{"fig9", func() (renderable, error) { return s.Fig9(matrix.Double) }},
+		{"fig9s", func() (renderable, error) { return s.Fig9(matrix.Single) }},
+		{"fig10", func() (renderable, error) { return s.Fig10(matrix.Double) }},
+		{"fig10s", func() (renderable, error) { return s.Fig10(matrix.Single) }},
+		{"fig11", func() (renderable, error) { return s.Fig11() }},
+		{"ablation-lds", func() (renderable, error) { return s.AblationLocalMemory() }},
+		{"ablation-layout", func() (renderable, error) { return s.AblationLayout() }},
+		{"bank-conflict", func() (renderable, error) { return s.BankConflictSeries() }},
+		{"cypress", func() (renderable, error) { return s.CypressComparison() }},
+		{"portability", func() (renderable, error) { return s.PortabilityTable(matrix.Single) }},
+		{"strategies", func() (renderable, error) { return s.StrategyComparison(matrix.Single, 2000) }},
+	}
+
+	want := strings.ToLower(*exp)
+	matched := false
+	for _, j := range jobs {
+		if want != "all" && want != j.id &&
+			!(want == "fig7" && j.id == "fig7s") &&
+			!(want == "fig9" && j.id == "fig9s") &&
+			!(want == "fig10" && j.id == "fig10s") {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		r, err := j.run()
+		if err != nil {
+			log.Fatalf("%s: %v", j.id, err)
+		}
+		if *csv {
+			fmt.Print(r.CSV())
+		} else {
+			fmt.Print(r.Render())
+			fmt.Printf("[%s regenerated in %s]\n", j.id, time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+	if !matched {
+		log.Printf("unknown experiment %q", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,73 @@
+// Command gemmgen emits the OpenCL C source of one generated GEMM
+// kernel. Parameters default to the paper's fastest Tahiti SGEMM kernel
+// (Table II) and can be overridden individually.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/matrix"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gemmgen: ")
+
+	precision := flag.String("precision", "single", "single or double")
+	algorithm := flag.String("algorithm", "BA", "BA, PL or DB")
+	mwg := flag.Int("mwg", 96, "work-group blocking factor Mwg")
+	nwg := flag.Int("nwg", 96, "work-group blocking factor Nwg")
+	kwg := flag.Int("kwg", 16, "work-group blocking factor Kwg")
+	mdimc := flag.Int("mdimc", 16, "work-group width MdimC")
+	ndimc := flag.Int("ndimc", 16, "work-group height NdimC")
+	mdima := flag.Int("mdima", 16, "A-load reshape MdimA")
+	ndimb := flag.Int("ndimb", 16, "B-load reshape NdimB")
+	kwi := flag.Int("kwi", 2, "inner unroll depth Kwi")
+	vw := flag.Int("vw", 1, "vector width (1, 2, 4 or 8)")
+	strideM := flag.Bool("stride-m", false, "non-unit stride access in M")
+	strideN := flag.Bool("stride-n", false, "non-unit stride access in N")
+	sharedA := flag.Bool("shared-a", true, "stage A through local memory")
+	sharedB := flag.Bool("shared-b", true, "stage B through local memory")
+	layoutA := flag.String("layout-a", "CBL", "A layout: RM, CBL or RBL")
+	layoutB := flag.String("layout-b", "CBL", "B layout: RM, CBL or RBL")
+	flag.Parse()
+
+	prec := matrix.Single
+	if *precision == "double" {
+		prec = matrix.Double
+	} else if *precision != "single" {
+		log.Fatalf("unknown precision %q", *precision)
+	}
+	alg, err := codegen.ParseAlgorithm(*algorithm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	la, err := matrix.ParseLayout(*layoutA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lb, err := matrix.ParseLayout(*layoutB)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p := codegen.Params{
+		Precision: prec, Algorithm: alg,
+		Mwg: *mwg, Nwg: *nwg, Kwg: *kwg,
+		MdimC: *mdimc, NdimC: *ndimc,
+		MdimA: *mdima, NdimB: *ndimb,
+		Kwi: *kwi, VectorWidth: *vw,
+		StrideM: *strideM, StrideN: *strideN,
+		SharedA: *sharedA, SharedB: *sharedB,
+		LayoutA: la, LayoutB: lb,
+	}
+	src, err := p.GenerateSource()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprint(os.Stdout, src)
+}

@@ -1,0 +1,84 @@
+// Command gemmmodel explains the performance model's estimate for one
+// kernel configuration on one device: the compute/memory/local-memory/
+// barrier breakdown, occupancy, efficiency factors and the resulting
+// GFlop/s. Defaults to the paper's fastest Tahiti SGEMM kernel.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"oclgemm/internal/blas"
+	"oclgemm/internal/experiments"
+	"oclgemm/internal/matrix"
+	"oclgemm/internal/perfmodel"
+	"oclgemm/internal/tunedb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gemmmodel: ")
+
+	dev := flag.String("device", "tahiti", "device ID")
+	precision := flag.String("precision", "single", "single or double")
+	n := flag.Int("n", 4096, "square problem size M=N=K")
+	flag.Parse()
+
+	d, err := experiments.Device(*dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prec := matrix.Single
+	if *precision == "double" {
+		prec = matrix.Double
+	}
+
+	// The paper's Table II kernel for this device/precision.
+	db := tunedb.PaperTableII()
+	rec, ok := db.Get(*dev, prec)
+	if !ok {
+		log.Fatalf("no paper kernel for %s/%s (try one of Table I's devices)", *dev, prec)
+	}
+	p, err := rec.Params()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bd, err := perfmodel.KernelTime(d, &p, *n, *n, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flops := blas.FlopCount(*n, *n, *n)
+	gf := flops / bd.Total / 1e9
+	r := p.Resources()
+
+	fmt.Printf("Device:      %s (peak %.0f GFlop/s %s)\n", d, d.PeakGFlops(prec), prec)
+	fmt.Printf("Kernel:      %s\n", p.Name())
+	fmt.Printf("Problem:     %d x %d x %d (padded %d x %d x %d)\n",
+		*n, *n, *n, bd.PaddedM, bd.PaddedN, bd.PaddedK)
+	fmt.Println()
+	fmt.Printf("Static resources per work-group:\n")
+	fmt.Printf("  work-group size:     %d work-items\n", r.WGSize)
+	fmt.Printf("  registers/work-item: %d words (device limit %d)\n", r.RegWordsPerWI, d.MaxRegsPerWI)
+	fmt.Printf("  local memory:        %d bytes (device %d)\n", r.LDSBytes, d.LocalMemBytes())
+	fmt.Printf("  barriers/iteration:  %d\n", r.BarriersPerIter)
+	fmt.Println()
+	fmt.Printf("Occupancy:\n")
+	fmt.Printf("  work-groups/CU:      %d\n", bd.WGPerCU)
+	fmt.Printf("  waves/CU:            %d (need %.0f for full overlap)\n", bd.WavesPerCU, d.WavesForOverlap)
+	fmt.Printf("  overlap quality:     %.2f\n", bd.Overlap)
+	fmt.Printf("  CU utilisation:      %.2f (tail rounds included)\n", bd.BusyFrac)
+	fmt.Printf("  register spill:      %v\n", bd.RegSpill)
+	fmt.Println()
+	fmt.Printf("Time breakdown (seconds):\n")
+	fmt.Printf("  compute:             %.6f  (ALU efficiency %.2f)\n", bd.Compute, bd.ALUEff)
+	fmt.Printf("  global memory:       %.6f  (stream eff A %.2f, B %.2f)\n", bd.GlobalMem, bd.MemEffA, bd.MemEffB)
+	fmt.Printf("  local memory:        %.6f\n", bd.LocalMem)
+	fmt.Printf("  barriers:            %.6f\n", bd.Barrier)
+	fmt.Printf("  launch overhead:     %.6f\n", bd.Launch)
+	fmt.Printf("  total:               %.6f\n", bd.Total)
+	fmt.Println()
+	fmt.Printf("Modeled performance:   %.0f GFlop/s (%.0f%% of peak; paper reports %.0f)\n",
+		gf, 100*gf/d.PeakGFlops(prec), rec.GFlops)
+}

@@ -1,0 +1,105 @@
+// Command gemmtune runs the auto-tuner on one simulated device and
+// prints the fastest kernel's parameters (a Table II column) and its
+// performance curve (a Fig. 7 line).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"oclgemm/internal/core"
+	"oclgemm/internal/experiments"
+	"oclgemm/internal/matrix"
+	"oclgemm/internal/tunedb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gemmtune: ")
+
+	dev := flag.String("device", "tahiti", "device ID (tahiti, cayman, kepler, fermi, sandybridge, bulldozer, cypress)")
+	precision := flag.String("precision", "single", "single or double")
+	budget := flag.Int("budget", 25000, "stage-1 candidate budget (the paper measures tens of thousands)")
+	maxSize := flag.Int("maxsize", 8192, "largest stage-2 problem size")
+	finalists := flag.Int("finalists", 50, "kernels re-measured across sizes in stage 2")
+	showSource := flag.Bool("source", false, "also print the winning kernel's OpenCL C source")
+	savePath := flag.String("save", "", "persist the result into this tuning-database JSON file")
+	flag.Parse()
+
+	d, err := experiments.Device(*dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prec := matrix.Single
+	if *precision == "double" {
+		prec = matrix.Double
+	} else if *precision != "single" {
+		log.Fatalf("unknown precision %q", *precision)
+	}
+
+	tn, err := core.New(core.Options{
+		Device: d, Precision: prec,
+		MaxCandidates: *budget, MaxSize: *maxSize, Finalists: *finalists,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	sel, err := tn.Search()
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	b := sel.Best
+	p := b.Params
+	fmt.Printf("Device:        %s\n", d)
+	fmt.Printf("Routine:       %s (C <- alpha*A^T*B + beta*C kernel)\n", prec.GEMMName())
+	fmt.Printf("Search:        %d variants measured, %d rejected, stage-2 %d kernels, %s\n",
+		sel.Stats.Enumerated, sel.Stats.Rejected, sel.Stats.Stage2, elapsed.Round(time.Millisecond))
+	fmt.Printf("\nFastest kernel (Table II column):\n")
+	fmt.Printf("  Mwg,Nwg,Kwg:   %d,%d,%d\n", p.Mwg, p.Nwg, p.Kwg)
+	fmt.Printf("  Mwi,Nwi,Kwi:   %d,%d,%d\n", p.Mwi(), p.Nwi(), p.Kwi)
+	fmt.Printf("  MdimC,NdimC:   %d,%d\n", p.MdimC, p.NdimC)
+	if p.SharedA {
+		fmt.Printf("  MdimA,KdimA:   %d,%d\n", p.MdimA, p.KdimA())
+	}
+	if p.SharedB {
+		fmt.Printf("  KdimB,NdimB:   %d,%d\n", p.KdimB(), p.NdimB)
+	}
+	fmt.Printf("  Vector width:  %d\n", p.VectorWidth)
+	fmt.Printf("  Stride M/N:    %v/%v\n", p.StrideM, p.StrideN)
+	fmt.Printf("  Shared A/B:    %v/%v\n", p.SharedA, p.SharedB)
+	fmt.Printf("  Layout A,B:    %s,%s\n", p.LayoutA, p.LayoutB)
+	fmt.Printf("  Algorithm:     %s\n", p.Algorithm)
+	fmt.Printf("\nMax performance: %.0f GFlop/s at N=%d (%.0f%% of peak %.0f)\n",
+		b.Best, b.BestN, 100*b.Best/d.PeakGFlops(prec), d.PeakGFlops(prec))
+
+	fmt.Printf("\nPerformance curve:\n")
+	fmt.Printf("  %8s  %10s\n", "N", "GFlop/s")
+	for _, pt := range b.Curve {
+		fmt.Printf("  %8d  %10.1f\n", pt.N, pt.GFlops)
+	}
+
+	if *showSource {
+		src, err := p.GenerateSource()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s", src)
+	}
+
+	if *savePath != "" {
+		db, err := tunedb.Load(*savePath)
+		if err != nil {
+			db = &tunedb.DB{} // new file
+		}
+		db.Put(tunedb.FromParams(d.ID, p, b.Best, b.BestN, "search"))
+		if err := db.Save(*savePath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nsaved to %s\n", *savePath)
+	}
+}

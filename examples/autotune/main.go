@@ -1,0 +1,69 @@
+// Autotune: run the paper's three-stage search on the simulated Fermi
+// GPU and print the winning kernel configuration, its performance
+// curve, and the generated OpenCL C source header.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"oclgemm"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	dev, err := oclgemm.DeviceByID("fermi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Tuning DGEMM for %s …\n", dev)
+
+	start := time.Now()
+	res, err := oclgemm.Tune(oclgemm.TuneOptions{
+		Device:        dev,
+		Precision:     oclgemm.Double,
+		MaxCandidates: 8000, // reduced budget for a quick demo
+		MaxSize:       6144,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("searched %d kernel variants (%d rejected) in %s\n\n",
+		res.Candidates, res.Rejected, time.Since(start).Round(time.Millisecond))
+
+	p := res.Params
+	fmt.Println("Fastest kernel:")
+	fmt.Printf("  blocking  Mwg,Nwg,Kwg = %d,%d,%d   work-item %d,%d,%d\n",
+		p.Mwg, p.Nwg, p.Kwg, p.Mwi(), p.Nwi(), p.Kwi)
+	fmt.Printf("  work-group %dx%d, vector width %d, algorithm %s\n",
+		p.MdimC, p.NdimC, p.VectorWidth, p.Algorithm)
+	fmt.Printf("  local memory: A=%v B=%v; layouts %s,%s\n",
+		p.SharedA, p.SharedB, p.LayoutA, p.LayoutB)
+	fmt.Printf("  max %.0f GFlop/s at N=%d (%.0f%% of peak)\n\n",
+		res.GFlops, res.BestN, 100*res.GFlops/dev.PeakGFlops(oclgemm.Double))
+
+	fmt.Println("Curve (Fig. 7 style):")
+	for _, pt := range res.Curve {
+		if pt.N%1024 != 0 && pt.N != res.Curve[len(res.Curve)-1].N {
+			continue
+		}
+		bar := strings.Repeat("#", int(pt.GFlops/10))
+		fmt.Printf("  N=%-5d %7.0f  %s\n", pt.N, pt.GFlops, bar)
+	}
+
+	src, err := oclgemm.GenerateSource(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nGenerated kernel (header):")
+	for i, line := range strings.SplitN(src, "\n", 12) {
+		if i == 11 {
+			fmt.Println("  …")
+			break
+		}
+		fmt.Println("  " + line)
+	}
+}

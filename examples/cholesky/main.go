@@ -1,0 +1,100 @@
+// Cholesky: the workload the paper's introduction motivates — GEMM as
+// the building block of LAPACK-style factorizations. Builds a symmetric
+// positive-definite system, factors it with a blocked Cholesky whose
+// bulk flops run through the tuned device GEMM, solves, and checks the
+// residual.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"oclgemm"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	dev, err := oclgemm.DeviceByID("tahiti")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A small-blocked kernel keeps the simulated factorization quick
+	// while still routing every panel update through the device GEMM.
+	params := oclgemm.Params{
+		Precision: oclgemm.Double, Algorithm: oclgemm.BA,
+		Mwg: 16, Nwg: 16, Kwg: 8,
+		MdimC: 8, NdimC: 8, MdimA: 8, NdimB: 8,
+		Kwi: 2, VectorWidth: 1,
+		SharedB: true,
+		LayoutA: oclgemm.LayoutCBL, LayoutB: oclgemm.LayoutCBL,
+	}
+	solver, err := oclgemm.NewSolver(dev, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Device: %s, Level-3 block size nb=%d\n\n", dev, solver.BlockSize())
+
+	// Build an SPD system A = G·Gᵀ + n·I and a right-hand side.
+	n, nrhs := 100, 3
+	rng := rand.New(rand.NewSource(2024))
+	g := oclgemm.NewMatrix[float64](n, n, oclgemm.RowMajor)
+	g.FillRandom(rng)
+	a := oclgemm.NewMatrix[float64](n, n, oclgemm.RowMajor)
+	oclgemm.Reference(oclgemm.NoTrans, oclgemm.Trans, 1.0, g, g, 0.0, a)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	b := oclgemm.NewMatrix[float64](n, nrhs, oclgemm.RowMajor)
+	b.FillRandom(rng)
+
+	// Factor A = L·Lᵀ (in place) and solve A·X = B.
+	factor := a.Clone()
+	if err := oclgemm.Cholesky(solver, factor); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("factored %dx%d SPD matrix (blocked right-looking, device GEMM updates)\n", n, n)
+
+	x := b.Clone()
+	if err := oclgemm.CholeskySolve(solver, factor, x); err != nil {
+		log.Fatal(err)
+	}
+
+	// Residual ‖A·X − B‖∞ relative to ‖B‖∞.
+	ax := oclgemm.NewMatrix[float64](n, nrhs, oclgemm.RowMajor)
+	oclgemm.Reference(oclgemm.NoTrans, oclgemm.NoTrans, 1.0, a, x, 0.0, ax)
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < nrhs; j++ {
+			d := ax.At(i, j) - b.At(i, j)
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	fmt.Printf("solved %d right-hand sides; max residual |AX-B| = %.2e\n", nrhs, worst)
+	if worst > 1e-8 {
+		log.Fatal("residual too large — FAILED")
+	}
+
+	// And the same machinery runs LU with partial pivoting.
+	m2 := oclgemm.NewMatrix[float64](64, 64, oclgemm.RowMajor)
+	m2.FillRandom(rng)
+	lu := m2.Clone()
+	piv, err := oclgemm.LU(solver, lu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	swaps := 0
+	for i, p := range piv {
+		if p != i {
+			swaps++
+		}
+	}
+	fmt.Printf("LU with partial pivoting: %d row swaps on a 64x64 general matrix\n", swaps)
+	fmt.Println("\nOK")
+}

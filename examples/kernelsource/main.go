@@ -1,0 +1,98 @@
+// Kernelsource: the full code-generation pipeline, end to end — emit
+// the OpenCL C source for the paper's fastest Tahiti DGEMM kernel,
+// compile it with the built-in OpenCL C front end, execute it on the
+// simulated device with real work-items and barriers, and verify the
+// numbers against the reference implementation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"oclgemm"
+	"oclgemm/internal/blas"
+	"oclgemm/internal/clc"
+	"oclgemm/internal/clsim"
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The paper's fastest Tahiti DGEMM kernel (Table II).
+	p := oclgemm.Params{
+		Precision: oclgemm.Double, Algorithm: oclgemm.BA,
+		Mwg: 96, Nwg: 32, Kwg: 48,
+		MdimC: 16, NdimC: 16, MdimA: 16, NdimB: 16,
+		Kwi: 2, VectorWidth: 2,
+		SharedB: true,
+		LayoutA: oclgemm.LayoutCBL, LayoutB: oclgemm.LayoutCBL,
+	}
+	src, err := oclgemm.GenerateSource(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Generated %d lines of OpenCL C:\n\n", strings.Count(src, "\n"))
+	for i, line := range strings.Split(src, "\n") {
+		if i >= 18 {
+			fmt.Println("    …")
+			break
+		}
+		fmt.Println("    " + line)
+	}
+
+	// Compile with the clc front end.
+	prog, err := clc.Compile(src)
+	if err != nil {
+		log.Fatalf("compile: %v", err)
+	}
+	kern, err := prog.Kernel(codegen.KernelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompiled kernel %q with %d parameters\n", kern.Name, len(kern.Params))
+
+	// One work-group-sized problem, executed with true per-work-item
+	// concurrency and barrier semantics.
+	m, n, k := p.Mwg, p.Nwg, p.Kwg
+	rng := rand.New(rand.NewSource(7))
+	a := matrix.New[float64](m, k, matrix.RowMajor)
+	b := matrix.New[float64](k, n, matrix.RowMajor)
+	c := matrix.New[float64](m, n, matrix.RowMajor)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	c.FillRandom(rng)
+	at := matrix.Pack(a, true, k, m, p.Kwg, p.Mwg, p.LayoutA)
+	bp := matrix.Pack(b, false, k, n, p.Kwg, p.Nwg, p.LayoutB)
+	got := c.Clone()
+
+	bound, err := kern.Bind(m, n, k, 1.0, -0.5, at.Data, bp.Data, got.Data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, _ := device.ByID("tahiti")
+	q := clsim.NewQueue(clsim.NewContext(&clsim.Device{Spec: dev}))
+	nd := clsim.NDRange{
+		Global: [2]int{m / p.Mwg * p.MdimC, n / p.Nwg * p.NdimC},
+		Local:  [2]int{p.MdimC, p.NdimC},
+	}
+	if err := q.Run(bound, nd); err != nil {
+		log.Fatal(err)
+	}
+	st := q.Stats()
+	fmt.Printf("executed %d work-items in %d work-group(s), %d barriers hit\n",
+		st.WorkItemsRun, st.WorkGroupsRun, st.BarriersHit)
+
+	want := c.Clone()
+	blas.GEMM(blas.NoTrans, blas.NoTrans, 1.0, a, b, -0.5, want)
+	diff := matrix.MaxRelDiff(got, want)
+	fmt.Printf("max relative difference vs reference: %.2e\n", diff)
+	if diff > 1e-12 {
+		log.Fatal("verification FAILED")
+	}
+	fmt.Println("OK — the generated source computes the right answer")
+}

@@ -1,0 +1,69 @@
+package oclgemm
+
+import (
+	"oclgemm/internal/blas"
+	"oclgemm/internal/gemmimpl"
+	"oclgemm/internal/matrix"
+)
+
+// GEMM is a full matrix-multiplication routine bound to a device and a
+// tuned kernel: C ← α·op(A)·op(B) + β·C for all four transpose types,
+// on row- or column-major data of any size (operands are copied into
+// zero-padded block-major buffers first, as in the paper's §IV-B).
+type GEMM struct {
+	impl *gemmimpl.Impl
+}
+
+// NewGEMM builds a routine from a device and kernel parameters
+// (typically a Tune result).
+func NewGEMM(d *Device, p Params) (*GEMM, error) {
+	im, err := gemmimpl.New(d, p)
+	if err != nil {
+		return nil, err
+	}
+	return &GEMM{impl: im}, nil
+}
+
+// Params returns the kernel parameter set the routine uses.
+func (g *GEMM) Params() Params { return g.impl.Params }
+
+// Device returns the device the routine is bound to.
+func (g *GEMM) Device() *Device { return g.impl.Dev }
+
+// Run computes C ← alpha·op(A)·op(B) + beta·C functionally on the
+// simulated device. The element type T must match the routine's
+// precision (float32 for Single, float64 for Double).
+func Run[T Scalar](g *GEMM, transA, transB Transpose, alpha T, a, b *Matrix[T], beta T, c *Matrix[T]) error {
+	return gemmimpl.Run(g.impl, transA, transB, alpha, a, b, beta, c)
+}
+
+// Run is a convenience method for float64 (DGEMM) routines.
+func (g *GEMM) Run(transA, transB Transpose, alpha float64, a, b *Matrix[float64], beta float64, c *Matrix[float64]) error {
+	return gemmimpl.Run(g.impl, transA, transB, alpha, a, b, beta, c)
+}
+
+// RunSingle is the float32 (SGEMM) counterpart of Run.
+func (g *GEMM) RunSingle(transA, transB Transpose, alpha float32, a, b *Matrix[float32], beta float32, c *Matrix[float32]) error {
+	return gemmimpl.Run(g.impl, transA, transB, alpha, a, b, beta, c)
+}
+
+// ModelGFlops returns the modeled performance of the full routine
+// (kernel plus copy overhead) for an m×n×k problem.
+func (g *GEMM) ModelGFlops(m, n, k int) (float64, error) {
+	return g.impl.GFlops(m, n, k)
+}
+
+// Reference computes C ← alpha·op(A)·op(B) + beta·C with the pure-Go
+// reference implementation (the correctness oracle); useful for
+// verifying results in examples and downstream tests.
+func Reference[T Scalar](transA, transB Transpose, alpha T, a, b *Matrix[T], beta T, c *Matrix[T]) {
+	blas.GEMMParallel(transA, transB, alpha, a, b, beta, c)
+}
+
+// MaxRelDiff returns the maximum elementwise relative difference
+// between two matrices.
+func MaxRelDiff[T Scalar](a, b *Matrix[T]) float64 { return matrix.MaxRelDiff(a, b) }
+
+// Tolerance returns a verification tolerance for an accumulation depth
+// k in the given precision.
+func Tolerance(p Precision, k int) float64 { return matrix.Tolerance(p, k) }

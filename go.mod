@@ -1,0 +1,3 @@
+module oclgemm
+
+go 1.24

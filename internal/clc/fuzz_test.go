@@ -1,0 +1,79 @@
+package clc
+
+import (
+	"testing"
+
+	"oclgemm/internal/clsim"
+	"oclgemm/internal/device"
+)
+
+// FuzzCompile asserts the front end never panics on arbitrary input —
+// it either produces a program or a positioned error.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"",
+		"__kernel void k() {}",
+		"__kernel void k(__global double* o){ o[0] = 1.0; }",
+		"__kernel void k(__global float* o){ float4 v = vload4(0, o); vstore4(v * (float4)(2.0f), 0, o); }",
+		"__kernel void k(const int n, __global double* o){ for (int i = 0; i < n; i++) { o[i] += (double)(i); } }",
+		"__kernel void k(__global double* o){ __local double lm[16]; lm[get_local_id(0)] = 0.0; barrier(CLK_LOCAL_MEM_FENCE); }",
+		"#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n__kernel void k(__global double* o){ /* c */ o[0] = mad(1.0, 2.0, 3.0); }",
+		"__kernel void k(__global double* o){ o[0] = (1 < 2) ? 3.0 : 4.0; }",
+		"kernel void k(global double* o){ o[0] = 0x10 + 07; }",
+		"__kernel void broken(",
+		"__kernel void k(__global double* o){ o[0] = ; }",
+		"int x = 5;",
+		"/* unterminated",
+		"__kernel void k(__global double* o){ o[0 = 1.0; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Compile(src)
+		if err == nil && prog == nil {
+			t.Fatal("nil program without error")
+		}
+		if err != nil && prog != nil {
+			t.Fatal("program returned alongside error")
+		}
+	})
+}
+
+// FuzzInterpretTinyKernel mutates the body of a small kernel and checks
+// the whole pipeline (compile → bind → run) never panics outside the
+// executor's error channel.
+func FuzzInterpretTinyKernel(f *testing.F) {
+	bodies := []string{
+		"o[gid] = 1.0;",
+		"o[gid] = o[gid] + 2.0;",
+		"for (int i = 0; i < 4; i++) { o[gid] += (double)(i); }",
+		"double2 v = vload2(0, o); vstore2(v, 0, o);",
+		"o[gid] = (double)(gid % 3);",
+		"o[100] = 1.0;",                        // out of bounds: must error, not crash
+		"int z = 0; o[gid] = (double)(1 / z);", // div by zero: must error
+	}
+	for _, b := range bodies {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		src := "__kernel void k(__global double* o)\n{\n const int gid = get_global_id(0);\n" + body + "\n}"
+		prog, err := Compile(src)
+		if err != nil {
+			return // rejected input is fine
+		}
+		k, err := prog.Kernel("k")
+		if err != nil {
+			return
+		}
+		bk, err := k.Bind(make([]float64, 8))
+		if err != nil {
+			return
+		}
+		ctx := clsim.NewContext(&clsim.Device{Spec: device.Tahiti()})
+		q := clsim.NewQueue(ctx)
+		// Run may return an error (runtime faults); it must not panic
+		// or deadlock.
+		_ = q.Run(bk, clsim.NDRange{Global: [2]int{4, 1}, Local: [2]int{2, 1}})
+	})
+}

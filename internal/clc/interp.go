@@ -1,0 +1,717 @@
+package clc
+
+import (
+	"fmt"
+	"math"
+
+	"oclgemm/internal/clsim"
+)
+
+// value is a runtime scalar or vector.
+type value struct {
+	t Type
+	i int64       // scalar integer payload (t.IsInt() && Lanes == 1)
+	f [16]float64 // float lanes
+}
+
+func intVal(v int64) value { return value{t: Type{Base: "int", Lanes: 1}, i: v} }
+
+func floatVal(base string, lanes int) value { return value{t: Type{Base: base, Lanes: lanes}} }
+
+// asFloat returns lane l as float64, broadcasting scalars.
+func (v value) lane(l int) float64 {
+	if v.t.IsInt() {
+		return float64(v.i)
+	}
+	if v.t.Lanes == 1 {
+		return v.f[0]
+	}
+	return v.f[l]
+}
+
+func (v value) truthy() bool {
+	if v.t.IsInt() {
+		return v.i != 0
+	}
+	return v.f[0] != 0
+}
+
+// asInt coerces a scalar value to an integer.
+func (v value) asInt() int64 {
+	if v.t.IsInt() {
+		return v.i
+	}
+	return int64(v.f[0])
+}
+
+func round32(base string, x float64) float64 {
+	if base == "float" {
+		return float64(float32(x))
+	}
+	return x
+}
+
+// arrayStore backs an array variable: a __local or __private array, or
+// a __global kernel buffer. Exactly one of f32/f64 is set.
+type arrayStore struct {
+	t   Type // element type
+	f32 []float32
+	f64 []float64
+}
+
+func (a *arrayStore) length() int {
+	if a.f64 != nil {
+		return len(a.f64) / a.t.Lanes
+	}
+	return len(a.f32) / a.t.Lanes
+}
+
+func (a *arrayStore) load(idx int64, e Expr) value {
+	n := int64(a.length())
+	if idx < 0 || idx >= n {
+		panic(errAt(e, "index %d out of range [0,%d)", idx, n))
+	}
+	v := floatVal(a.t.Base, a.t.Lanes)
+	base := idx * int64(a.t.Lanes)
+	for l := 0; l < a.t.Lanes; l++ {
+		if a.f64 != nil {
+			v.f[l] = a.f64[base+int64(l)]
+		} else {
+			v.f[l] = float64(a.f32[base+int64(l)])
+		}
+	}
+	return v
+}
+
+func (a *arrayStore) store(idx int64, v value, e Expr) {
+	n := int64(a.length())
+	if idx < 0 || idx >= n {
+		panic(errAt(e, "index %d out of range [0,%d)", idx, n))
+	}
+	base := idx * int64(a.t.Lanes)
+	for l := 0; l < a.t.Lanes; l++ {
+		x := v.lane(l)
+		if a.f64 != nil {
+			a.f64[base+int64(l)] = x
+		} else {
+			a.f32[base+int64(l)] = float32(x)
+		}
+	}
+}
+
+// vload reads w consecutive elements starting at elementOffset*w.
+func (a *arrayStore) vload(w int, off int64, e Expr) value {
+	if a.t.Lanes != 1 {
+		panic(errAt(e, "vload from a vector array"))
+	}
+	start := off * int64(w)
+	if start < 0 || start+int64(w) > int64(a.length()) {
+		panic(errAt(e, "vload%d offset %d out of range", w, off))
+	}
+	v := floatVal(a.t.Base, w)
+	for l := 0; l < w; l++ {
+		if a.f64 != nil {
+			v.f[l] = a.f64[start+int64(l)]
+		} else {
+			v.f[l] = float64(a.f32[start+int64(l)])
+		}
+	}
+	return v
+}
+
+func (a *arrayStore) vstore(w int, v value, off int64, e Expr) {
+	if a.t.Lanes != 1 {
+		panic(errAt(e, "vstore to a vector array"))
+	}
+	start := off * int64(w)
+	if start < 0 || start+int64(w) > int64(a.length()) {
+		panic(errAt(e, "vstore%d offset %d out of range", w, off))
+	}
+	for l := 0; l < w; l++ {
+		if a.f64 != nil {
+			a.f64[start+int64(l)] = v.lane(l)
+		} else {
+			a.f32[start+int64(l)] = float32(v.lane(l))
+		}
+	}
+}
+
+// variable is a scope slot: either a value or an array.
+type variable struct {
+	val value
+	arr *arrayStore
+}
+
+// env is the interpreter scope stack.
+type env struct {
+	scopes []map[string]*variable
+}
+
+func (e *env) push() { e.scopes = append(e.scopes, map[string]*variable{}) }
+func (e *env) pop()  { e.scopes = e.scopes[:len(e.scopes)-1] }
+
+func (e *env) define(name string, v *variable) { e.scopes[len(e.scopes)-1][name] = v }
+
+func (e *env) lookup(name string) (*variable, bool) {
+	for i := len(e.scopes) - 1; i >= 0; i-- {
+		if v, ok := e.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Bind attaches argument values to a kernel, producing a
+// clsim.WorkItemKernel. Supported argument kinds: int, float32,
+// float64 for scalar parameters; []float32 and []float64 for __global
+// pointer parameters.
+func (k *KernelDecl) Bind(args ...any) (*BoundKernel, error) {
+	if len(args) != len(k.Params) {
+		return nil, fmt.Errorf("clc: kernel %s takes %d arguments, got %d", k.Name, len(k.Params), len(args))
+	}
+	b := &BoundKernel{decl: k}
+	for i, p := range k.Params {
+		v := &variable{}
+		switch a := args[i].(type) {
+		case int:
+			if p.Pointer || !p.Type.IsInt() {
+				return nil, fmt.Errorf("clc: argument %d: int given for parameter %q (%s)", i, p.Name, p.Type)
+			}
+			v.val = intVal(int64(a))
+		case float32:
+			if p.Pointer || p.Type.Base != "float" {
+				return nil, fmt.Errorf("clc: argument %d: float32 given for parameter %q (%s)", i, p.Name, p.Type)
+			}
+			v.val = floatVal("float", 1)
+			v.val.f[0] = float64(a)
+		case float64:
+			if p.Pointer || p.Type.Base != "double" {
+				return nil, fmt.Errorf("clc: argument %d: float64 given for parameter %q (%s)", i, p.Name, p.Type)
+			}
+			v.val = floatVal("double", 1)
+			v.val.f[0] = a
+		case []float32:
+			if !p.Pointer || p.Type.Base != "float" {
+				return nil, fmt.Errorf("clc: argument %d: []float32 given for parameter %q", i, p.Name)
+			}
+			v.arr = &arrayStore{t: Type{Base: "float", Lanes: 1}, f32: a}
+		case []float64:
+			if !p.Pointer || p.Type.Base != "double" {
+				return nil, fmt.Errorf("clc: argument %d: []float64 given for parameter %q", i, p.Name)
+			}
+			v.arr = &arrayStore{t: Type{Base: "double", Lanes: 1}, f64: a}
+		default:
+			return nil, fmt.Errorf("clc: argument %d: unsupported type %T", i, args[i])
+		}
+		b.args = append(b.args, v)
+	}
+	// Hoist top-level __local declarations: they are work-group state.
+	for _, s := range k.Body.Stmts {
+		if d, ok := s.(*Decl); ok && d.Space == LocalMem {
+			if d.ArrayLen == nil {
+				return nil, fmt.Errorf("clc: kernel %s: scalar __local variables are not supported", k.Name)
+			}
+			b.locals = append(b.locals, d)
+		}
+	}
+	return b, nil
+}
+
+// BoundKernel is a kernel with bound arguments, runnable on clsim.
+type BoundKernel struct {
+	decl   *KernelDecl
+	args   []*variable
+	locals []*Decl
+}
+
+// Name implements clsim.WorkItemKernel.
+func (b *BoundKernel) Name() string { return b.decl.Name }
+
+// SetupGroup allocates the kernel's __local arrays through the
+// work-group's accounting (so capacity overruns surface exactly as on
+// a real device).
+func (b *BoundKernel) SetupGroup(g *clsim.Group) any {
+	shared := make(map[string]*arrayStore, len(b.locals))
+	for _, d := range b.locals {
+		n, err := constFold(d.ArrayLen)
+		if err != nil {
+			panic(err)
+		}
+		total := int(n) * d.Type.Lanes
+		st := &arrayStore{t: d.Type}
+		if d.Type.Base == "double" {
+			st.f64 = g.AllocLocalFloat64(total)
+		} else {
+			st.f32 = g.AllocLocalFloat32(total)
+		}
+		shared[d.Name] = st
+	}
+	return shared
+}
+
+// Run implements clsim.WorkItemKernel: interpret the body for one
+// work-item.
+func (b *BoundKernel) Run(it *clsim.Item, sharedAny any) {
+	shared := sharedAny.(map[string]*arrayStore)
+	in := &interp{item: it}
+	in.env.push()
+	for i, p := range b.decl.Params {
+		in.env.define(p.Name, b.args[i])
+	}
+	for name, st := range shared {
+		in.env.define(name, &variable{arr: st})
+	}
+	in.execBlockInCurrentScope(b.decl.Body, true)
+}
+
+// interp executes statements for one work-item.
+type interp struct {
+	item *clsim.Item
+	env  env
+}
+
+func (in *interp) execBlockInCurrentScope(b *Block, skipLocals bool) {
+	in.env.push()
+	defer in.env.pop()
+	for _, s := range b.Stmts {
+		if skipLocals {
+			if d, ok := s.(*Decl); ok && d.Space == LocalMem {
+				continue // already materialized per group
+			}
+		}
+		in.exec(s)
+	}
+}
+
+func (in *interp) exec(s Stmt) {
+	switch n := s.(type) {
+	case *Decl:
+		in.execDecl(n)
+	case *Assign:
+		in.execAssign(n)
+	case *ExprStmt:
+		in.eval(n.X)
+	case *If:
+		c := in.eval(n.Cond)
+		if c.truthy() {
+			in.execBlockInCurrentScope(n.Then, false)
+		} else if n.Else != nil {
+			in.exec(n.Else)
+		}
+	case *For:
+		in.env.push()
+		if n.Init != nil {
+			in.exec(n.Init)
+		}
+		for {
+			if n.Cond != nil {
+				c := in.eval(n.Cond)
+				if !c.truthy() {
+					break
+				}
+			}
+			in.execBlockInCurrentScope(n.Body, false)
+			if n.Post != nil {
+				in.exec(n.Post)
+			}
+		}
+		in.env.pop()
+	case *Block:
+		in.execBlockInCurrentScope(n, false)
+	}
+}
+
+func (in *interp) execDecl(d *Decl) {
+	v := &variable{}
+	if d.ArrayLen != nil {
+		n, err := constFold(d.ArrayLen)
+		if err != nil {
+			panic(err)
+		}
+		if d.Type.IsInt() {
+			line, col := d.Pos()
+			panic(&Error{Line: line, Col: col, Msg: "integer arrays are not supported"})
+		}
+		st := &arrayStore{t: d.Type}
+		total := int(n) * d.Type.Lanes
+		if d.Type.Base == "double" {
+			st.f64 = make([]float64, total)
+		} else {
+			st.f32 = make([]float32, total)
+		}
+		v.arr = st
+	} else {
+		if d.Init != nil {
+			v.val = in.convert(in.eval(d.Init), d.Type, d.Init)
+		} else {
+			if d.Type.IsInt() {
+				v.val = intVal(0)
+			} else {
+				v.val = floatVal(d.Type.Base, d.Type.Lanes)
+			}
+		}
+	}
+	in.env.define(d.Name, v)
+}
+
+// convert coerces a value to a declared type (scalar conversions and
+// scalar→vector broadcast).
+func (in *interp) convert(v value, to Type, at Expr) value {
+	if v.t == to {
+		return v
+	}
+	if to.IsInt() {
+		if to.Lanes != 1 {
+			panic(errAt(at, "integer vectors are not supported"))
+		}
+		return intVal(v.asInt())
+	}
+	out := floatVal(to.Base, to.Lanes)
+	if v.t.Lanes == 1 {
+		x := round32(to.Base, v.lane(0))
+		for l := 0; l < to.Lanes; l++ {
+			out.f[l] = x
+		}
+		return out
+	}
+	if v.t.Lanes != to.Lanes {
+		panic(errAt(at, "cannot convert %s to %s", v.t, to))
+	}
+	for l := 0; l < to.Lanes; l++ {
+		out.f[l] = round32(to.Base, v.f[l])
+	}
+	return out
+}
+
+func (in *interp) execAssign(a *Assign) {
+	rhs := in.eval(a.RHS)
+	apply := func(cur value) value {
+		switch a.Op {
+		case "=":
+			return rhs
+		case "+=":
+			return in.binop("+", cur, rhs, a.RHS)
+		case "-=":
+			return in.binop("-", cur, rhs, a.RHS)
+		case "*=":
+			return in.binop("*", cur, rhs, a.RHS)
+		case "/=":
+			return in.binop("/", cur, rhs, a.RHS)
+		}
+		panic(errAt(a.LHS, "unsupported assignment operator %q", a.Op))
+	}
+	switch lhs := a.LHS.(type) {
+	case *Ident:
+		v, ok := in.env.lookup(lhs.Name)
+		if !ok {
+			panic(errAt(lhs, "undeclared identifier %q", lhs.Name))
+		}
+		if v.arr != nil {
+			panic(errAt(lhs, "cannot assign to array %q", lhs.Name))
+		}
+		nv := apply(v.val)
+		v.val = in.convert(nv, v.val.t, a.RHS)
+	case *Index:
+		arr := in.arrayOf(lhs.X)
+		idx := in.eval(lhs.Idx).asInt()
+		cur := arr.load(idx, lhs)
+		arr.store(idx, in.convert(apply(cur), arr.t, a.RHS), lhs)
+	default:
+		panic(errAt(a.LHS, "left-hand side is not assignable"))
+	}
+}
+
+func (in *interp) arrayOf(e Expr) *arrayStore {
+	id, ok := e.(*Ident)
+	if !ok {
+		panic(errAt(e, "expected array identifier"))
+	}
+	v, ok := in.env.lookup(id.Name)
+	if !ok {
+		panic(errAt(e, "undeclared identifier %q", id.Name))
+	}
+	if v.arr == nil {
+		panic(errAt(e, "%q is not an array", id.Name))
+	}
+	return v.arr
+}
+
+func (in *interp) eval(e Expr) value {
+	switch n := e.(type) {
+	case *IntLit:
+		return intVal(n.Value)
+	case *FloatLit:
+		base := "double"
+		if n.Single {
+			base = "float"
+		}
+		v := floatVal(base, 1)
+		v.f[0] = round32(base, n.Value)
+		return v
+	case *Ident:
+		if c, ok := builtinConsts[n.Name]; ok {
+			return intVal(c)
+		}
+		v, ok := in.env.lookup(n.Name)
+		if !ok {
+			panic(errAt(e, "undeclared identifier %q", n.Name))
+		}
+		if v.arr != nil {
+			panic(errAt(e, "array %q used as a value", n.Name))
+		}
+		return v.val
+	case *Binary:
+		if n.Op == "&&" {
+			l := in.eval(n.L)
+			if !l.truthy() {
+				return intVal(0)
+			}
+			return boolVal(in.eval(n.R).truthy())
+		}
+		if n.Op == "||" {
+			l := in.eval(n.L)
+			if l.truthy() {
+				return intVal(1)
+			}
+			return boolVal(in.eval(n.R).truthy())
+		}
+		return in.binop(n.Op, in.eval(n.L), in.eval(n.R), e)
+	case *Unary:
+		x := in.eval(n.X)
+		switch n.Op {
+		case "-":
+			if x.t.IsInt() {
+				return intVal(-x.i)
+			}
+			out := floatVal(x.t.Base, x.t.Lanes)
+			for l := 0; l < x.t.Lanes; l++ {
+				out.f[l] = -x.f[l]
+			}
+			return out
+		case "!":
+			return boolVal(!x.truthy())
+		case "~":
+			return intVal(^x.asInt())
+		}
+		panic(errAt(e, "unsupported unary operator %q", n.Op))
+	case *Cond:
+		if in.eval(n.C).truthy() {
+			return in.eval(n.T)
+		}
+		return in.eval(n.F)
+	case *Call:
+		return in.call(n)
+	case *Index:
+		arr := in.arrayOf(n.X)
+		idx := in.eval(n.Idx).asInt()
+		return arr.load(idx, e)
+	case *Cast:
+		if len(n.Args) == 1 {
+			return in.convert(in.eval(n.Args[0]), n.To, e)
+		}
+		// Vector constructor with Lanes components.
+		out := floatVal(n.To.Base, n.To.Lanes)
+		for l, a := range n.Args {
+			out.f[l] = round32(n.To.Base, in.eval(a).lane(0))
+		}
+		return out
+	}
+	panic(errAt(e, "unsupported expression"))
+}
+
+func boolVal(b bool) value {
+	if b {
+		return intVal(1)
+	}
+	return intVal(0)
+}
+
+// binop evaluates l op r with C numeric promotion and lane
+// broadcasting; float results round per the wider base's precision.
+func (in *interp) binop(op string, l, r value, at Expr) value {
+	if l.t.IsInt() && r.t.IsInt() {
+		a, b := l.i, r.i
+		switch op {
+		case "+":
+			return intVal(a + b)
+		case "-":
+			return intVal(a - b)
+		case "*":
+			return intVal(a * b)
+		case "/":
+			if b == 0 {
+				panic(errAt(at, "integer division by zero"))
+			}
+			return intVal(a / b)
+		case "%":
+			if b == 0 {
+				panic(errAt(at, "integer modulo by zero"))
+			}
+			return intVal(a % b)
+		case "<<":
+			return intVal(a << uint(b))
+		case ">>":
+			return intVal(a >> uint(b))
+		case "&":
+			return intVal(a & b)
+		case "|":
+			return intVal(a | b)
+		case "^":
+			return intVal(a ^ b)
+		case "<":
+			return boolVal(a < b)
+		case "<=":
+			return boolVal(a <= b)
+		case ">":
+			return boolVal(a > b)
+		case ">=":
+			return boolVal(a >= b)
+		case "==":
+			return boolVal(a == b)
+		case "!=":
+			return boolVal(a != b)
+		}
+		panic(errAt(at, "unsupported integer operator %q", op))
+	}
+	// Float path with promotion.
+	base := "float"
+	if l.t.Base == "double" || r.t.Base == "double" || l.t.IsInt() || r.t.IsInt() {
+		// int op float promotes to the float operand's base; when one
+		// side is double the result is double. An int operand adopts
+		// the float side's base.
+		base = "double"
+		if l.t.Base == "float" || r.t.Base == "float" {
+			if l.t.Base != "double" && r.t.Base != "double" {
+				base = "float"
+			}
+		}
+	}
+	lanes := l.t.Lanes
+	if r.t.Lanes > lanes {
+		lanes = r.t.Lanes
+	}
+	if l.t.Lanes > 1 && r.t.Lanes > 1 && l.t.Lanes != r.t.Lanes {
+		panic(errAt(at, "vector width mismatch %s vs %s", l.t, r.t))
+	}
+	switch op {
+	case "<", "<=", ">", ">=", "==", "!=":
+		if lanes != 1 {
+			panic(errAt(at, "vector comparisons are not supported"))
+		}
+		a, b := l.lane(0), r.lane(0)
+		switch op {
+		case "<":
+			return boolVal(a < b)
+		case "<=":
+			return boolVal(a <= b)
+		case ">":
+			return boolVal(a > b)
+		case ">=":
+			return boolVal(a >= b)
+		case "==":
+			return boolVal(a == b)
+		case "!=":
+			return boolVal(a != b)
+		}
+	}
+	out := floatVal(base, lanes)
+	for i := 0; i < lanes; i++ {
+		a, b := l.lane(i), r.lane(i)
+		var x float64
+		switch op {
+		case "+":
+			x = a + b
+		case "-":
+			x = a - b
+		case "*":
+			x = a * b
+		case "/":
+			x = a / b
+		default:
+			panic(errAt(at, "unsupported float operator %q", op))
+		}
+		out.f[i] = round32(base, x)
+	}
+	return out
+}
+
+func (in *interp) call(c *Call) value {
+	switch c.Fun {
+	case "get_global_id", "get_local_id", "get_group_id", "get_local_size", "get_global_size", "get_num_groups":
+		d := int(in.eval(c.Args[0]).asInt())
+		if d < 0 || d > 1 {
+			panic(errAt(c, "dimension %d out of range (2-D NDRange)", d))
+		}
+		switch c.Fun {
+		case "get_global_id":
+			return intVal(int64(in.item.GlobalID(d)))
+		case "get_local_id":
+			return intVal(int64(in.item.LocalID(d)))
+		case "get_group_id":
+			return intVal(int64(in.item.GroupID(d)))
+		case "get_local_size":
+			return intVal(int64(in.item.LocalSize(d)))
+		case "get_global_size":
+			return intVal(int64(in.item.GlobalSize(d)))
+		default:
+			return intVal(int64(in.item.GlobalSize(d) / in.item.LocalSize(d)))
+		}
+	case "barrier":
+		in.eval(c.Args[0])
+		in.item.Barrier()
+		return intVal(0)
+	case "mad", "fma":
+		a := in.eval(c.Args[0])
+		b := in.eval(c.Args[1])
+		cc := in.eval(c.Args[2])
+		prod := in.binop("*", a, b, c)
+		return in.binop("+", prod, cc, c)
+	case "min", "max":
+		a := in.eval(c.Args[0])
+		b := in.eval(c.Args[1])
+		if a.t.IsInt() && b.t.IsInt() {
+			if c.Fun == "min" {
+				return intVal(minInt(a.i, b.i))
+			}
+			return intVal(maxInt(a.i, b.i))
+		}
+		x, y := a.lane(0), b.lane(0)
+		v := floatVal("double", 1)
+		if c.Fun == "min" {
+			v.f[0] = math.Min(x, y)
+		} else {
+			v.f[0] = math.Max(x, y)
+		}
+		return v
+	case "vload2", "vload4", "vload8":
+		w := int(c.Fun[5] - '0')
+		off := in.eval(c.Args[0]).asInt()
+		arr := in.arrayOf(c.Args[1])
+		return arr.vload(w, off, c)
+	case "vstore2", "vstore4", "vstore8":
+		w := int(c.Fun[6] - '0')
+		v := in.eval(c.Args[0])
+		off := in.eval(c.Args[1]).asInt()
+		arr := in.arrayOf(c.Args[2])
+		if v.t.Lanes != w {
+			panic(errAt(c, "vstore%d given %d lanes", w, v.t.Lanes))
+		}
+		arr.vstore(w, v, off, c)
+		return intVal(0)
+	}
+	panic(errAt(c, "unknown function %q", c.Fun))
+}
+
+func minInt(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

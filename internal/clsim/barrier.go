@@ -1,0 +1,76 @@
+package clsim
+
+import "sync"
+
+// wgBarrier is a cyclic barrier for the work-items of one group, with
+// divergence detection: if a work-item finishes while others are parked
+// at a barrier, the parked items are released with
+// ErrBarrierDivergence (real OpenCL leaves this undefined; we fail
+// loudly instead of deadlocking).
+type wgBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	active  int // participants still executing
+	waiting int
+	gen     int
+	failure error
+}
+
+func newWGBarrier(n int) *wgBarrier {
+	b := &wgBarrier{active: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all active participants have called wait. Panics
+// with the barrier's failure if the group aborted or diverged.
+func (b *wgBarrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failure != nil {
+		panic(b.failure)
+	}
+	b.waiting++
+	if b.waiting == b.active {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	gen := b.gen
+	for gen == b.gen && b.failure == nil {
+		b.cond.Wait()
+	}
+	if b.failure != nil {
+		panic(b.failure)
+	}
+}
+
+// leave removes a finished participant. If others are parked at the
+// barrier this is divergence.
+func (b *wgBarrier) leave() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.active--
+	if b.waiting > 0 && b.failure == nil {
+		b.failure = ErrBarrierDivergence
+		b.cond.Broadcast()
+	}
+}
+
+// abort releases everyone with the given error (work-item panicked).
+func (b *wgBarrier) abort(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failure == nil {
+		b.failure = err
+	}
+	b.cond.Broadcast()
+}
+
+// err returns the recorded failure, if any.
+func (b *wgBarrier) err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failure
+}

@@ -1,0 +1,140 @@
+package clsim
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// Buffer is a device memory object (clCreateBuffer). Storage is a
+// uint64 word array so that float32 and float64 views are both
+// well-aligned; the typed views alias the same storage, mirroring
+// OpenCL's untyped buffer objects.
+type Buffer struct {
+	ctx   *Context
+	size  int // bytes
+	words []uint64
+	freed bool
+}
+
+// CreateBuffer allocates a zero-filled buffer of size bytes, which must
+// fit in the device's global memory.
+func (c *Context) CreateBuffer(size int) (*Buffer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("clsim: non-positive buffer size %d", size)
+	}
+	limit := int64(c.Device.Spec.GlobalMemGB * float64(1<<30))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.allocated+int64(size) > limit {
+		return nil, fmt.Errorf("clsim: allocation of %d bytes exceeds device global memory (%d of %d bytes in use)",
+			size, c.allocated, limit)
+	}
+	c.allocated += int64(size)
+	c.buffers++
+	return &Buffer{
+		ctx:   c,
+		size:  size,
+		words: make([]uint64, (size+7)/8),
+	}, nil
+}
+
+// Size returns the buffer size in bytes.
+func (b *Buffer) Size() int { return b.size }
+
+// Release returns the buffer's bytes to the context accounting. Using a
+// released buffer panics.
+func (b *Buffer) Release() {
+	if b.freed {
+		return
+	}
+	b.freed = true
+	b.ctx.mu.Lock()
+	b.ctx.allocated -= int64(b.size)
+	b.ctx.buffers--
+	b.ctx.mu.Unlock()
+	b.words = nil
+}
+
+func (b *Buffer) check() {
+	if b.freed {
+		panic("clsim: use of released buffer")
+	}
+}
+
+// Float32 returns a float32 view of the buffer (size/4 elements) that
+// aliases the buffer storage.
+func (b *Buffer) Float32() []float32 {
+	b.check()
+	if len(b.words) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b.words[0])), b.size/4)
+}
+
+// Float64 returns a float64 view of the buffer (size/8 elements) that
+// aliases the buffer storage.
+func (b *Buffer) Float64() []float64 {
+	b.check()
+	if len(b.words) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b.words[0])), b.size/8)
+}
+
+// WriteFloat32 copies host data into the buffer starting at element
+// offset (clEnqueueWriteBuffer).
+func (q *Queue) WriteFloat32(b *Buffer, offset int, host []float32) error {
+	b.check()
+	dst := b.Float32()
+	if offset < 0 || offset+len(host) > len(dst) {
+		return fmt.Errorf("clsim: write of %d elements at %d exceeds buffer of %d", len(host), offset, len(dst))
+	}
+	copy(dst[offset:], host)
+	q.mu.Lock()
+	q.stats.BytesWritten += int64(4 * len(host))
+	q.mu.Unlock()
+	return nil
+}
+
+// WriteFloat64 copies host data into the buffer starting at element
+// offset.
+func (q *Queue) WriteFloat64(b *Buffer, offset int, host []float64) error {
+	b.check()
+	dst := b.Float64()
+	if offset < 0 || offset+len(host) > len(dst) {
+		return fmt.Errorf("clsim: write of %d elements at %d exceeds buffer of %d", len(host), offset, len(dst))
+	}
+	copy(dst[offset:], host)
+	q.mu.Lock()
+	q.stats.BytesWritten += int64(8 * len(host))
+	q.mu.Unlock()
+	return nil
+}
+
+// ReadFloat32 copies buffer contents to host (clEnqueueReadBuffer).
+func (q *Queue) ReadFloat32(b *Buffer, offset int, host []float32) error {
+	b.check()
+	src := b.Float32()
+	if offset < 0 || offset+len(host) > len(src) {
+		return fmt.Errorf("clsim: read of %d elements at %d exceeds buffer of %d", len(host), offset, len(src))
+	}
+	copy(host, src[offset:])
+	q.mu.Lock()
+	q.stats.BytesRead += int64(4 * len(host))
+	q.mu.Unlock()
+	return nil
+}
+
+// ReadFloat64 copies buffer contents to host.
+func (q *Queue) ReadFloat64(b *Buffer, offset int, host []float64) error {
+	b.check()
+	src := b.Float64()
+	if offset < 0 || offset+len(host) > len(src) {
+		return fmt.Errorf("clsim: read of %d elements at %d exceeds buffer of %d", len(host), offset, len(src))
+	}
+	copy(host, src[offset:])
+	q.mu.Lock()
+	q.stats.BytesRead += int64(8 * len(host))
+	q.mu.Unlock()
+	return nil
+}

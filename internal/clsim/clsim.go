@@ -1,0 +1,164 @@
+// Package clsim is a pure-Go simulation of the OpenCL host and device
+// model that the paper's auto-tuning system runs on: platforms, devices,
+// contexts, command queues, buffer objects, and two-dimensional NDRange
+// kernel execution with work-groups, work-items, local memory and
+// barriers.
+//
+// The runtime is functional, not cycle-accurate: kernels compute real
+// results with exact OpenCL barrier semantics. Timing estimates come
+// from the separate perfmodel package; the command queue records
+// execution statistics (launches, bytes moved, barrier counts) that
+// tests and the tuner consume.
+package clsim
+
+import (
+	"fmt"
+	"sync"
+
+	"oclgemm/internal/device"
+)
+
+// Platform groups the simulated devices, mirroring clGetPlatformIDs.
+type Platform struct {
+	Name    string
+	Vendor  string
+	Version string
+	Devices []*Device
+}
+
+// DefaultPlatform returns a platform exposing every device in the
+// Table I catalog.
+func DefaultPlatform() *Platform {
+	p := &Platform{
+		Name:    "oclgemm simulated platform",
+		Vendor:  "oclgemm",
+		Version: "OpenCL 1.2 (simulated)",
+	}
+	for _, spec := range device.All() {
+		p.Devices = append(p.Devices, &Device{Spec: spec})
+	}
+	return p
+}
+
+// Device is an OpenCL device backed by a catalog spec.
+type Device struct {
+	Spec *device.Spec
+}
+
+// Name returns the device display name.
+func (d *Device) Name() string { return d.Spec.String() }
+
+// Context owns buffers for a device, mirroring clCreateContext.
+type Context struct {
+	Device *Device
+
+	mu        sync.Mutex
+	allocated int64
+	buffers   int
+}
+
+// NewContext creates a context on the device.
+func NewContext(d *Device) *Context {
+	if d == nil {
+		panic("clsim: nil device")
+	}
+	return &Context{Device: d}
+}
+
+// AllocatedBytes returns the total bytes currently held by live buffers.
+func (c *Context) AllocatedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.allocated
+}
+
+// LiveBuffers returns the number of unreleased buffers.
+func (c *Context) LiveBuffers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buffers
+}
+
+// QueueStats aggregates what a command queue has executed.
+type QueueStats struct {
+	KernelLaunches int
+	WorkGroupsRun  int64
+	WorkItemsRun   int64
+	BarriersHit    int64
+	BytesWritten   int64 // host -> device
+	BytesRead      int64 // device -> host
+}
+
+// Queue is an in-order command queue, mirroring clCreateCommandQueue.
+// All enqueue operations execute synchronously (the simulation has no
+// asynchronous device).
+type Queue struct {
+	Ctx *Context
+
+	mu    sync.Mutex
+	stats QueueStats
+}
+
+// NewQueue creates a command queue on the context.
+func NewQueue(c *Context) *Queue {
+	if c == nil {
+		panic("clsim: nil context")
+	}
+	return &Queue{Ctx: c}
+}
+
+// Stats returns a snapshot of the queue's execution statistics.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+func (q *Queue) addLaunch(groups, items, barriers int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.stats.KernelLaunches++
+	q.stats.WorkGroupsRun += groups
+	q.stats.WorkItemsRun += items
+	q.stats.BarriersHit += barriers
+}
+
+// NDRange is a two-dimensional index space (the paper only considers 2-D
+// NDRanges, which suit matrix data).
+type NDRange struct {
+	// Global is the total number of work-items per dimension.
+	Global [2]int
+	// Local is the work-group size per dimension.
+	Local [2]int
+}
+
+// Validate checks the geometry against the device limits.
+func (n NDRange) Validate(d *Device) error {
+	for dim := 0; dim < 2; dim++ {
+		if n.Global[dim] <= 0 || n.Local[dim] <= 0 {
+			return fmt.Errorf("clsim: non-positive NDRange dimension %d", dim)
+		}
+		if n.Global[dim]%n.Local[dim] != 0 {
+			return fmt.Errorf("clsim: global size %d not divisible by local size %d in dimension %d",
+				n.Global[dim], n.Local[dim], dim)
+		}
+	}
+	if wg := n.Local[0] * n.Local[1]; wg > d.Spec.MaxWGSize {
+		return fmt.Errorf("clsim: work-group size %d exceeds device limit %d", wg, d.Spec.MaxWGSize)
+	}
+	return nil
+}
+
+// GroupSize returns work-items per group.
+func (n NDRange) GroupSize() int { return n.Local[0] * n.Local[1] }
+
+// NumGroups returns the group grid dimensions.
+func (n NDRange) NumGroups() [2]int {
+	return [2]int{n.Global[0] / n.Local[0], n.Global[1] / n.Local[1]}
+}
+
+// TotalGroups returns the number of work-groups in the NDRange.
+func (n NDRange) TotalGroups() int {
+	g := n.NumGroups()
+	return g[0] * g[1]
+}

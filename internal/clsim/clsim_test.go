@@ -1,0 +1,317 @@
+package clsim
+
+import (
+	"errors"
+	"testing"
+
+	"oclgemm/internal/device"
+)
+
+func testDevice() *Device { return &Device{Spec: device.Tahiti()} }
+
+func TestDefaultPlatform(t *testing.T) {
+	p := DefaultPlatform()
+	if len(p.Devices) != 6 {
+		t.Fatalf("platform has %d devices, want 6", len(p.Devices))
+	}
+	if p.Devices[0].Name() != "Tahiti (Radeon HD 7970)" {
+		t.Errorf("first device = %q", p.Devices[0].Name())
+	}
+}
+
+func TestBufferViewsAliasSameStorage(t *testing.T) {
+	ctx := NewContext(testDevice())
+	q := NewQueue(ctx)
+	b, err := ctx.CreateBuffer(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Release()
+	f64 := b.Float64()
+	f32 := b.Float32()
+	if len(f64) != 8 || len(f32) != 16 {
+		t.Fatalf("view lengths %d/%d, want 8/16", len(f64), len(f32))
+	}
+	f64[0] = 1.0
+	// 1.0 in float64 is 0x3FF0000000000000; its upper 32 bits alias the
+	// second float32 slot on little-endian storage.
+	if f32[1] == 0 {
+		t.Error("views do not alias the same storage")
+	}
+	host := make([]float64, 8)
+	if err := q.ReadFloat64(b, 0, host); err != nil {
+		t.Fatal(err)
+	}
+	if host[0] != 1.0 {
+		t.Errorf("read back %v, want 1.0", host[0])
+	}
+}
+
+func TestBufferBounds(t *testing.T) {
+	ctx := NewContext(testDevice())
+	q := NewQueue(ctx)
+	b, _ := ctx.CreateBuffer(32)
+	defer b.Release()
+	if err := q.WriteFloat64(b, 2, []float64{1, 2, 3}); err == nil {
+		t.Error("out-of-bounds write must fail")
+	}
+	if err := q.ReadFloat32(b, 6, make([]float32, 4)); err == nil {
+		t.Error("out-of-bounds read must fail")
+	}
+	if err := q.WriteFloat64(b, -1, []float64{1}); err == nil {
+		t.Error("negative offset must fail")
+	}
+	if _, err := ctx.CreateBuffer(0); err == nil {
+		t.Error("zero-size buffer must fail")
+	}
+}
+
+func TestGlobalMemoryAccounting(t *testing.T) {
+	ctx := NewContext(testDevice()) // Tahiti: 3 GB
+	if _, err := ctx.CreateBuffer(4 << 30); err == nil {
+		t.Fatal("allocation above device memory must fail")
+	}
+	b1, err := ctx.CreateBuffer(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.AllocatedBytes() != 1<<30 || ctx.LiveBuffers() != 1 {
+		t.Errorf("accounting wrong after alloc: %d bytes, %d buffers", ctx.AllocatedBytes(), ctx.LiveBuffers())
+	}
+	b1.Release()
+	b1.Release() // idempotent
+	if ctx.AllocatedBytes() != 0 || ctx.LiveBuffers() != 0 {
+		t.Errorf("accounting wrong after release")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("use after release must panic")
+			}
+		}()
+		b1.Float64()
+	}()
+}
+
+func TestNDRangeValidate(t *testing.T) {
+	d := testDevice() // MaxWGSize 256
+	good := NDRange{Global: [2]int{64, 64}, Local: [2]int{16, 16}}
+	if err := good.Validate(d); err != nil {
+		t.Errorf("valid range rejected: %v", err)
+	}
+	if good.GroupSize() != 256 || good.TotalGroups() != 16 {
+		t.Errorf("geometry wrong: %d %d", good.GroupSize(), good.TotalGroups())
+	}
+	bad := NDRange{Global: [2]int{60, 64}, Local: [2]int{16, 16}}
+	if err := bad.Validate(d); err == nil {
+		t.Error("non-divisible range must fail")
+	}
+	big := NDRange{Global: [2]int{64, 64}, Local: [2]int{32, 16}}
+	if err := big.Validate(d); err == nil {
+		t.Error("oversized work-group must fail on Tahiti (max 256)")
+	}
+	neg := NDRange{Global: [2]int{0, 64}, Local: [2]int{16, 16}}
+	if err := neg.Validate(d); err == nil {
+		t.Error("zero global size must fail")
+	}
+}
+
+// reverseKernel reverses a vector within each work-group using local
+// memory and one barrier — exercises ids, local memory, and barriers.
+type reverseKernel struct {
+	data []float32
+}
+
+func (k *reverseKernel) Name() string { return "reverse" }
+
+func (k *reverseKernel) SetupGroup(g *Group) any {
+	return g.AllocLocalFloat32(g.LocalSize(0))
+}
+
+func (k *reverseKernel) Run(it *Item, shared any) {
+	lm := shared.([]float32)
+	lx := it.LocalID(0)
+	n := it.LocalSize(0)
+	lm[lx] = k.data[it.GlobalID(0)]
+	it.Barrier()
+	k.data[it.GlobalID(0)] = lm[n-1-lx]
+}
+
+func TestConcurrentExecutorReverse(t *testing.T) {
+	ctx := NewContext(testDevice())
+	q := NewQueue(ctx)
+	n, wg := 64, 16
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(i)
+	}
+	k := &reverseKernel{data: data}
+	nd := NDRange{Global: [2]int{n, 1}, Local: [2]int{wg, 1}}
+	if err := q.Run(k, nd); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < n/wg; g++ {
+		for i := 0; i < wg; i++ {
+			want := float32(g*wg + wg - 1 - i)
+			if data[g*wg+i] != want {
+				t.Fatalf("data[%d] = %v, want %v", g*wg+i, data[g*wg+i], want)
+			}
+		}
+	}
+	st := q.Stats()
+	if st.KernelLaunches != 1 || st.WorkGroupsRun != 4 || st.WorkItemsRun != 64 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+	if st.BarriersHit != 64 { // every work-item hit one barrier
+		t.Errorf("barriers = %d, want 64", st.BarriersHit)
+	}
+}
+
+// idKernel writes each item's flattened global id — checks 2-D indexing.
+type idKernel struct{ out []float32 }
+
+func (k *idKernel) Name() string          { return "ids" }
+func (k *idKernel) SetupGroup(*Group) any { return nil }
+func (k *idKernel) Run(it *Item, _ any) {
+	k.out[it.GlobalID(1)*it.GlobalSize(0)+it.GlobalID(0)] =
+		float32(it.GroupID(0) + 100*it.GroupID(1) + 10000*it.LinearLocalID())
+}
+
+func TestTwoDimensionalIndexing(t *testing.T) {
+	ctx := NewContext(testDevice())
+	q := NewQueue(ctx)
+	nd := NDRange{Global: [2]int{8, 6}, Local: [2]int{4, 3}}
+	k := &idKernel{out: make([]float32, 48)}
+	if err := q.Run(k, nd); err != nil {
+		t.Fatal(err)
+	}
+	// Item at global (5, 4): group (1, 1), local (1, 1), linear 1*4+1=5.
+	got := k.out[4*8+5]
+	if got != float32(1+100*1+10000*5) {
+		t.Errorf("indexing wrong: got %v", got)
+	}
+}
+
+// divergentKernel: half the items hit a barrier, half return.
+type divergentKernel struct{}
+
+func (divergentKernel) Name() string          { return "divergent" }
+func (divergentKernel) SetupGroup(*Group) any { return nil }
+func (divergentKernel) Run(it *Item, _ any) {
+	if it.LocalID(0) < it.LocalSize(0)/2 {
+		it.Barrier()
+	}
+}
+
+func TestBarrierDivergenceDetected(t *testing.T) {
+	ctx := NewContext(testDevice())
+	q := NewQueue(ctx)
+	nd := NDRange{Global: [2]int{16, 1}, Local: [2]int{16, 1}}
+	err := q.Run(divergentKernel{}, nd)
+	if !errors.Is(err, ErrBarrierDivergence) {
+		t.Errorf("want ErrBarrierDivergence, got %v", err)
+	}
+}
+
+// hugeLocalKernel allocates more local memory than any device has.
+type hugeLocalKernel struct{}
+
+func (hugeLocalKernel) Name() string { return "huge-local" }
+func (hugeLocalKernel) SetupGroup(g *Group) any {
+	return g.AllocLocalFloat64(1 << 20)
+}
+func (hugeLocalKernel) Run(*Item, any) {}
+
+func TestLocalMemoryLimit(t *testing.T) {
+	ctx := NewContext(testDevice())
+	q := NewQueue(ctx)
+	nd := NDRange{Global: [2]int{16, 1}, Local: [2]int{16, 1}}
+	err := q.Run(hugeLocalKernel{}, nd)
+	if !errors.Is(err, ErrLocalMemExceeded) {
+		t.Errorf("want ErrLocalMemExceeded, got %v", err)
+	}
+}
+
+// panicKernel panics in one work-item.
+type panicKernel struct{}
+
+func (panicKernel) Name() string          { return "panics" }
+func (panicKernel) SetupGroup(*Group) any { return nil }
+func (panicKernel) Run(it *Item, _ any) {
+	if it.GlobalID(0) == 3 {
+		panic("boom")
+	}
+	it.Barrier()
+}
+
+func TestWorkItemPanicBecomesError(t *testing.T) {
+	ctx := NewContext(testDevice())
+	q := NewQueue(ctx)
+	nd := NDRange{Global: [2]int{8, 1}, Local: [2]int{8, 1}}
+	if err := q.Run(panicKernel{}, nd); err == nil {
+		t.Error("panic in work-item must surface as error")
+	}
+}
+
+// lockstepSum: GroupKernel computing per-group sums via phases.
+type lockstepSum struct {
+	in  []float64
+	out []float64
+}
+
+func (k *lockstepSum) Name() string { return "lockstep-sum" }
+func (k *lockstepSum) RunGroup(g *GroupRun) {
+	partial := g.AllocLocalFloat64(g.Size())
+	g.ForAll(func(lx, ly int) {
+		partial[lx] = k.in[g.GlobalID0(lx)]
+	})
+	g.ForAll(func(lx, ly int) {
+		if lx == 0 {
+			var s float64
+			for _, v := range partial {
+				s += v
+			}
+			k.out[g.ID(0)] = s
+		}
+	})
+}
+
+func TestLockstepExecutor(t *testing.T) {
+	ctx := NewContext(testDevice())
+	q := NewQueue(ctx)
+	in := make([]float64, 32)
+	for i := range in {
+		in[i] = float64(i)
+	}
+	k := &lockstepSum{in: in, out: make([]float64, 4)}
+	nd := NDRange{Global: [2]int{32, 1}, Local: [2]int{8, 1}}
+	if err := q.RunLockstep(k, nd); err != nil {
+		t.Fatal(err)
+	}
+	wants := []float64{28, 92, 156, 220}
+	for i, w := range wants {
+		if k.out[i] != w {
+			t.Errorf("group %d sum = %v, want %v", i, k.out[i], w)
+		}
+	}
+	if st := q.Stats(); st.BarriersHit != 8 { // 4 groups × 2 phases
+		t.Errorf("lockstep barriers = %d, want 8", st.BarriersHit)
+	}
+}
+
+type lockstepPanic struct{}
+
+func (lockstepPanic) Name() string { return "lockstep-panic" }
+func (lockstepPanic) RunGroup(g *GroupRun) {
+	g.AllocLocalFloat64(1 << 22) // exceeds every device
+}
+
+func TestLockstepLocalLimit(t *testing.T) {
+	ctx := NewContext(testDevice())
+	q := NewQueue(ctx)
+	nd := NDRange{Global: [2]int{8, 1}, Local: [2]int{8, 1}}
+	err := q.RunLockstep(lockstepPanic{}, nd)
+	if !errors.Is(err, ErrLocalMemExceeded) {
+		t.Errorf("want ErrLocalMemExceeded, got %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"oclgemm/internal/matrix"
+)
+
+func TestGeneratePackSourceStructure(t *testing.T) {
+	pp := PackParams{Precision: matrix.Double, Layout: matrix.LayoutCBL, Rb: 48, Cb: 96, Transpose: true}
+	src, err := pp.GeneratePackSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"__kernel void pack_block(",
+		"#pragma OPENCL EXTENSION cl_khr_fp64",
+		"get_global_id(0)",
+		"S[c * LD + r]",       // transposed read
+		"(c / 96) * (R * 96)", // CBL indexing
+	} {
+		if !strings.Contains(src, frag) {
+			t.Errorf("pack source missing %q\n%s", frag, src)
+		}
+	}
+	if strings.Count(src, "{") != strings.Count(src, "}") {
+		t.Error("unbalanced braces")
+	}
+}
+
+func TestGeneratePackSourceVariants(t *testing.T) {
+	rm := PackParams{Precision: matrix.Single, Layout: matrix.LayoutRowMajor, Rb: 8, Cb: 8}
+	src, err := rm.GeneratePackSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(src, "#pragma") {
+		t.Error("float pack must not need fp64")
+	}
+	if !strings.Contains(src, "D[r * C + c]") {
+		t.Error("row-major destination indexing missing")
+	}
+	if !strings.Contains(src, "S[r * LD + c]") {
+		t.Error("non-transposed read missing")
+	}
+
+	rbl := PackParams{Precision: matrix.Single, Layout: matrix.LayoutRBL, Rb: 4, Cb: 8}
+	src, err = rbl.GeneratePackSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "(r / 4) * (4 * C)") {
+		t.Errorf("RBL destination indexing missing:\n%s", src)
+	}
+}
+
+func TestGeneratePackRejectsInvalid(t *testing.T) {
+	bad := PackParams{Precision: matrix.Single, Layout: matrix.Layout(9), Rb: 4, Cb: 4}
+	if _, err := bad.GeneratePackSource(); err == nil {
+		t.Error("unknown layout must fail")
+	}
+	bad2 := PackParams{Precision: matrix.Single, Layout: matrix.LayoutCBL, Rb: 0, Cb: 4}
+	if _, err := bad2.GeneratePackSource(); err == nil {
+		t.Error("zero blocking must fail")
+	}
+}
+
+func TestPackNDRange(t *testing.T) {
+	pp := PackParams{Precision: matrix.Single, Layout: matrix.LayoutCBL, Rb: 4, Cb: 4}
+	g, l := pp.PackNDRange(33, 50)
+	if l != [2]int{16, 16} {
+		t.Errorf("default local = %v", l)
+	}
+	if g[0]%l[0] != 0 || g[1]%l[1] != 0 || g[0] < 50 || g[1] < 33 {
+		t.Errorf("global %v must cover and divide", g)
+	}
+	pp.WGX, pp.WGY = 8, 4
+	g, l = pp.PackNDRange(33, 50)
+	if l != [2]int{8, 4} || g[0]%8 != 0 || g[1]%4 != 0 {
+		t.Errorf("custom WG wrong: %v %v", g, l)
+	}
+}

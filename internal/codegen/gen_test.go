@@ -1,0 +1,153 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"oclgemm/internal/matrix"
+)
+
+func genSource(t *testing.T, p Params) string {
+	t.Helper()
+	src, err := p.GenerateSource()
+	if err != nil {
+		t.Fatalf("GenerateSource: %v", err)
+	}
+	return src
+}
+
+func TestGenerateStructure(t *testing.T) {
+	p := tahitiSGEMM()
+	src := genSource(t, p)
+	for _, frag := range []string{
+		"__kernel void gemm_atb(",
+		"__local float Alm[1536]", // 16*96
+		"__local float Blm[1536]",
+		"barrier(CLK_LOCAL_MEM_FENCE);",
+		"get_group_id(0)",
+		"mad(",
+	} {
+		if !strings.Contains(src, frag) {
+			t.Errorf("source missing %q\n%s", frag, src)
+		}
+	}
+	if strings.Count(src, "{") != strings.Count(src, "}") {
+		t.Error("unbalanced braces")
+	}
+}
+
+func TestGenerateDoublePragma(t *testing.T) {
+	d := tahitiDGEMM()
+	src := genSource(t, d)
+	if !strings.Contains(src, "#pragma OPENCL EXTENSION cl_khr_fp64 : enable") {
+		t.Error("double kernels need the fp64 pragma")
+	}
+	if !strings.Contains(src, "__kernel void gemm_atb(const int M, const int N, const int K, const double alpha") {
+		t.Error("double kernel signature wrong")
+	}
+	s := tahitiSGEMM()
+	if strings.Contains(genSource(t, s), "#pragma") {
+		t.Error("float kernels must not carry the fp64 pragma")
+	}
+}
+
+func TestGenerateNoLocalMemoryVariant(t *testing.T) {
+	p := tahitiSGEMM()
+	p.SharedA, p.SharedB = false, false
+	src := genSource(t, p)
+	if strings.Contains(src, "__local") || strings.Contains(src, "barrier(") {
+		t.Error("non-shared kernel must not declare local memory or barriers")
+	}
+}
+
+func TestGenerateVectorWidths(t *testing.T) {
+	p := tahitiSGEMM()
+	p.VectorWidth = 2
+	src := genSource(t, p)
+	for _, frag := range []string{"float2 acc[", "vload2(", "vstore2(", "(float2)(alpha)"} {
+		if !strings.Contains(src, frag) {
+			t.Errorf("vw=2 source missing %q", frag)
+		}
+	}
+	p.VectorWidth = 1
+	src = genSource(t, p)
+	if strings.Contains(src, "vload") || strings.Contains(src, "float2") {
+		t.Error("vw=1 source must be scalar")
+	}
+}
+
+func TestGenerateAlgorithmShapes(t *testing.T) {
+	base := tahitiSGEMM()
+
+	ba := genSource(t, base)
+	if strings.Count(ba, "barrier(") != 2 {
+		t.Errorf("BA must have 2 barriers, got %d", strings.Count(ba, "barrier("))
+	}
+
+	pl := base
+	pl.Algorithm = PL
+	plSrc := genSource(t, pl)
+	if !strings.Contains(plSrc, "apm[") || !strings.Contains(plSrc, "bpm[") {
+		t.Error("PL must stage panels in private arrays")
+	}
+	if strings.Count(plSrc, "barrier(") != 3 {
+		t.Errorf("PL must have 3 barriers, got %d", strings.Count(plSrc, "barrier("))
+	}
+
+	db := base
+	db.Algorithm = DB
+	db.Kwg = 32 // KwiA must be even for the half-panel buffers
+	dbSrc := genSource(t, db)
+	if strings.Contains(dbSrc, "apm[") {
+		t.Error("DB must not stage in private arrays")
+	}
+	// DB local memory equals BA's at the same Kwg (half panels
+	// double-buffered inside one full-panel allocation).
+	if !strings.Contains(dbSrc, "__local float Alm[3072]") {
+		t.Error("DB local allocation must equal BA's")
+	}
+}
+
+func TestGenerateUnrollDegree(t *testing.T) {
+	p := tahitiSGEMM() // Kwi = 2, Mwi = Nwi = 6, vw = 1
+	src := genSource(t, p)
+	// mads per pwi iteration: Kwi * Mwi * Nwi = 72 in the main loop.
+	if got := strings.Count(src, "mad("); got != 72 {
+		t.Errorf("BA mad count = %d, want 72", got)
+	}
+	p.Kwi = 4
+	src = genSource(t, p)
+	if got := strings.Count(src, "mad("); got != 144 {
+		t.Errorf("Kwi=4 mad count = %d, want 144", got)
+	}
+}
+
+func TestGenerateLayoutIndexing(t *testing.T) {
+	p := tahitiSGEMM()
+	p.LayoutA, p.LayoutB = matrix.LayoutRowMajor, matrix.LayoutRBL
+	src := genSource(t, p)
+	if !strings.Contains(src, "* M + gx *") {
+		t.Error("row-major A indexing missing")
+	}
+	if !strings.Contains(src, "% 16) * 96") { // RBL: (k % Kwg) * Nwg
+		t.Error("RBL B indexing missing")
+	}
+}
+
+func TestGenerateRejectsInvalid(t *testing.T) {
+	p := tahitiSGEMM()
+	p.Kwi = 3
+	if _, err := p.GenerateSource(); err == nil {
+		t.Error("invalid params must not generate")
+	}
+}
+
+func TestGenerateStrideModes(t *testing.T) {
+	p := tahitiSGEMM()
+	p.StrideM, p.StrideN = true, true
+	src := genSource(t, p)
+	// Strided row mapping: lx + i * MdimC.
+	if !strings.Contains(src, "lx + (0) * 16") {
+		t.Errorf("strided M mapping missing:\n%s", src)
+	}
+}

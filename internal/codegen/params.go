@@ -1,0 +1,293 @@
+// Package codegen implements the paper's GEMM code generator (§III):
+// a parameter vector describing one C ← α·Aᵀ·B + β·C kernel variant,
+// validation of parameter consistency, emission of the corresponding
+// OpenCL C kernel source, and static resource/usage statistics consumed
+// by the performance model.
+package codegen
+
+import (
+	"errors"
+	"fmt"
+
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+)
+
+// Algorithm selects one of the three GEMM schedules of §III-E.
+type Algorithm int
+
+const (
+	// BA is the basic algorithm (Fig. 4), after Volkov and Demmel.
+	BA Algorithm = iota
+	// PL adds software pipelining of global loads (Fig. 5), after
+	// Nath et al. / Kurzak et al.
+	PL
+	// DB double-buffers local memory (Fig. 6), after Tan et al.
+	DB
+)
+
+// String returns the paper's abbreviation.
+func (a Algorithm) String() string {
+	switch a {
+	case PL:
+		return "PL"
+	case DB:
+		return "DB"
+	default:
+		return "BA"
+	}
+}
+
+// Algorithms lists all three schedules.
+var Algorithms = []Algorithm{BA, PL, DB}
+
+// ParseAlgorithm converts "BA"/"PL"/"DB" to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "BA":
+		return BA, nil
+	case "PL":
+		return PL, nil
+	case "DB":
+		return DB, nil
+	}
+	return 0, fmt.Errorf("codegen: unknown algorithm %q", s)
+}
+
+// Params is one point in the code generator's search space. The eight
+// blocking-related parameters (Mwg, Nwg, Kwg, MdimC, NdimC, MdimA,
+// NdimB, Kwi) are the paper's §III-F count; none is restricted to powers
+// of two.
+type Params struct {
+	Precision matrix.Precision
+	Algorithm Algorithm
+
+	// Work-group blocking factors (§III-A).
+	Mwg, Nwg, Kwg int
+
+	// Work-group shape; the work-item blocking factors are derived:
+	// Mwi = Mwg/MdimC, Nwi = Nwg/NdimC.
+	MdimC, NdimC int
+
+	// Load-reshape parameters for cooperative local-memory loads
+	// (§III-C); KdimA = MdimC·NdimC/MdimA, KdimB = MdimC·NdimC/NdimB.
+	// Ignored for matrices not staged through local memory.
+	MdimA, NdimB int
+
+	// Kwi is the unrolling depth of the innermost loop (§III-A).
+	Kwi int
+
+	// VectorWidth is the OpenCL vector-variable width vw (§III-B).
+	VectorWidth int
+
+	// StrideM/StrideN select non-unit (interleaved) stride access in
+	// the M/N direction (§III-B, Fig. 2(b)).
+	StrideM, StrideN bool
+
+	// SharedA/SharedB stage the A/B operand through local memory
+	// (§III-C).
+	SharedA, SharedB bool
+
+	// LayoutA/LayoutB are the data layouts of the copied operands
+	// (§III-D, Fig. 3).
+	LayoutA, LayoutB matrix.Layout
+}
+
+// Mwi returns the work-item blocking factor in M.
+func (p *Params) Mwi() int { return p.Mwg / p.MdimC }
+
+// Nwi returns the work-item blocking factor in N.
+func (p *Params) Nwi() int { return p.Nwg / p.NdimC }
+
+// KdimA returns the derived reshape height for A loads.
+func (p *Params) KdimA() int { return p.MdimC * p.NdimC / p.MdimA }
+
+// KdimB returns the derived reshape height for B loads.
+func (p *Params) KdimB() int { return p.MdimC * p.NdimC / p.NdimB }
+
+// MwiA returns elements of A each work-item loads per row of the
+// cooperative load (Mwg/MdimA).
+func (p *Params) MwiA() int { return p.Mwg / p.MdimA }
+
+// KwiA returns rows of A each work-item loads cooperatively (Kwg/KdimA).
+func (p *Params) KwiA() int { return p.Kwg / p.KdimA() }
+
+// KwiB returns rows of B each work-item loads cooperatively (Kwg/KdimB).
+func (p *Params) KwiB() int { return p.Kwg / p.KdimB() }
+
+// NwiB returns elements of B each work-item loads per row (Nwg/NdimB).
+func (p *Params) NwiB() int { return p.Nwg / p.NdimB }
+
+// WGSize returns work-items per work-group (MdimC·NdimC).
+func (p *Params) WGSize() int { return p.MdimC * p.NdimC }
+
+// LCM returns the least common multiple of the work-group blocking
+// factors, the granularity at which the search procedure picks problem
+// sizes (§III-F).
+func (p *Params) LCM() int {
+	return lcm(lcm(p.Mwg, p.Nwg), p.Kwg)
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+// UsesLocalMemory reports whether either operand is staged through
+// local memory.
+func (p *Params) UsesLocalMemory() bool { return p.SharedA || p.SharedB }
+
+// Validate checks internal consistency of the parameter set. Invalid
+// sets correspond to the paper's "kernels which fail in code
+// generation"; they are discarded by the search engine and not counted.
+func (p *Params) Validate() error {
+	if p.Mwg <= 0 || p.Nwg <= 0 || p.Kwg <= 0 {
+		return errors.New("codegen: blocking factors must be positive")
+	}
+	if p.MdimC <= 0 || p.NdimC <= 0 {
+		return errors.New("codegen: work-group dimensions must be positive")
+	}
+	if p.Kwi <= 0 {
+		return errors.New("codegen: Kwi must be positive")
+	}
+	if p.Mwg%p.MdimC != 0 {
+		return fmt.Errorf("codegen: Mwg=%d not divisible by MdimC=%d", p.Mwg, p.MdimC)
+	}
+	if p.Nwg%p.NdimC != 0 {
+		return fmt.Errorf("codegen: Nwg=%d not divisible by NdimC=%d", p.Nwg, p.NdimC)
+	}
+	kwgSpan := p.Kwg
+	if p.Algorithm == DB {
+		// DB processes Kwg in two half-buffers (Fig. 6).
+		if p.Kwg%2 != 0 {
+			return fmt.Errorf("codegen: DB requires even Kwg, got %d", p.Kwg)
+		}
+		kwgSpan = p.Kwg / 2
+	}
+	if kwgSpan%p.Kwi != 0 {
+		return fmt.Errorf("codegen: inner span %d not divisible by Kwi=%d", kwgSpan, p.Kwi)
+	}
+	switch p.VectorWidth {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("codegen: vector width %d not in {1,2,4,8}", p.VectorWidth)
+	}
+	if p.Nwi()%p.VectorWidth != 0 {
+		return fmt.Errorf("codegen: Nwi=%d not divisible by vector width %d", p.Nwi(), p.VectorWidth)
+	}
+	wg := p.WGSize()
+	if p.SharedA {
+		if p.MdimA <= 0 {
+			return errors.New("codegen: MdimA must be positive when A is shared")
+		}
+		if wg%p.MdimA != 0 {
+			return fmt.Errorf("codegen: work-group size %d not divisible by MdimA=%d", wg, p.MdimA)
+		}
+		if p.Mwg%p.MdimA != 0 {
+			return fmt.Errorf("codegen: Mwg=%d not divisible by MdimA=%d", p.Mwg, p.MdimA)
+		}
+		if p.Kwg%p.KdimA() != 0 {
+			return fmt.Errorf("codegen: Kwg=%d not divisible by KdimA=%d", p.Kwg, p.KdimA())
+		}
+		if p.Algorithm == DB && p.KwiA()%2 != 0 {
+			return fmt.Errorf("codegen: DB requires even KwiA, got %d", p.KwiA())
+		}
+	}
+	if p.SharedB {
+		if p.NdimB <= 0 {
+			return errors.New("codegen: NdimB must be positive when B is shared")
+		}
+		if wg%p.NdimB != 0 {
+			return fmt.Errorf("codegen: work-group size %d not divisible by NdimB=%d", wg, p.NdimB)
+		}
+		if p.Nwg%p.NdimB != 0 {
+			return fmt.Errorf("codegen: Nwg=%d not divisible by NdimB=%d", p.Nwg, p.NdimB)
+		}
+		if p.Kwg%p.KdimB() != 0 {
+			return fmt.Errorf("codegen: Kwg=%d not divisible by KdimB=%d", p.Kwg, p.KdimB())
+		}
+		if p.Algorithm == DB && p.KwiB()%2 != 0 {
+			return fmt.Errorf("codegen: DB requires even KwiB, got %d", p.KwiB())
+		}
+	}
+	if p.Algorithm == DB && !p.UsesLocalMemory() {
+		return errors.New("codegen: DB requires at least one operand in local memory")
+	}
+	for _, l := range []matrix.Layout{p.LayoutA, p.LayoutB} {
+		switch l {
+		case matrix.LayoutRowMajor, matrix.LayoutCBL, matrix.LayoutRBL:
+		default:
+			return fmt.Errorf("codegen: unknown layout %d", l)
+		}
+	}
+	return nil
+}
+
+// CheckDevice verifies the parameter set against a device: work-group
+// limits, local-memory capacity, and device quirks. These correspond to
+// the paper's "kernels which fail in compilation or testing".
+func (p *Params) CheckDevice(d *device.Spec) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if wg := p.WGSize(); wg > d.MaxWGSize {
+		return fmt.Errorf("codegen: work-group size %d exceeds %s limit %d", wg, d.CodeName, d.MaxWGSize)
+	}
+	r := p.Resources()
+	if r.LDSBytes > d.LocalMemBytes() {
+		return fmt.Errorf("codegen: %d bytes of local memory exceed %s capacity %d",
+			r.LDSBytes, d.CodeName, d.LocalMemBytes())
+	}
+	if d.PLDoubleFails && p.Algorithm == PL && p.Precision == matrix.Double {
+		// Reproduces the paper's note: "DGEMM kernels with PL algorithm
+		// always fail to execute on the Bulldozer."
+		return fmt.Errorf("codegen: PL double-precision kernels fail to execute on %s", d.CodeName)
+	}
+	return nil
+}
+
+// MinK returns the smallest K the generated kernel supports: PL needs a
+// prologue plus at least one pipelined iteration (2·Kwg); the others
+// need one Kwg panel.
+func (p *Params) MinK() int {
+	if p.Algorithm == PL || p.Algorithm == DB {
+		return 2 * p.Kwg
+	}
+	return p.Kwg
+}
+
+// Name returns a compact identifier encoding the full parameter set,
+// used as the generated kernel's function name suffix and in logs.
+func (p *Params) Name() string {
+	stride := ""
+	if p.StrideM {
+		stride += "M"
+	}
+	if p.StrideN {
+		stride += "N"
+	}
+	if stride == "" {
+		stride = "U"
+	}
+	shared := ""
+	if p.SharedA {
+		shared += "A"
+	}
+	if p.SharedB {
+		shared += "B"
+	}
+	if shared == "" {
+		shared = "0"
+	}
+	return fmt.Sprintf("%s_%s_wg%dx%dx%d_wi%dx%dx%d_d%dx%d_a%dx%d_v%d_s%s_lm%s_%s%s",
+		p.Precision.GEMMName(), p.Algorithm,
+		p.Mwg, p.Nwg, p.Kwg,
+		p.Mwi(), p.Nwi(), p.Kwi,
+		p.MdimC, p.NdimC, p.MdimA, p.NdimB,
+		p.VectorWidth, stride, shared,
+		p.LayoutA, p.LayoutB)
+}

@@ -1,0 +1,361 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+)
+
+// tahitiSGEMM returns the paper's fastest Tahiti SGEMM kernel parameters
+// (Table II): Mwg,Nwg,Kwg = 96,96,16; Mwi,Nwi,Kwi = 6,6,2;
+// MdimC,NdimC = 16,16; vw = 1; shared A,B; CBL/CBL; BA.
+func tahitiSGEMM() Params {
+	return Params{
+		Precision: matrix.Single, Algorithm: BA,
+		Mwg: 96, Nwg: 96, Kwg: 16,
+		MdimC: 16, NdimC: 16,
+		MdimA: 16, NdimB: 16,
+		Kwi:         2,
+		VectorWidth: 1,
+		SharedA:     true, SharedB: true,
+		LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL,
+	}
+}
+
+// tahitiDGEMM returns the paper's fastest Tahiti DGEMM kernel (Table II):
+// 96,32,48; wi 6,2,2; dims 16,16; vw 2; shared B; CBL/CBL; BA.
+func tahitiDGEMM() Params {
+	return Params{
+		Precision: matrix.Double, Algorithm: BA,
+		Mwg: 96, Nwg: 32, Kwg: 48,
+		MdimC: 16, NdimC: 16,
+		MdimA: 16, NdimB: 16,
+		Kwi:         2,
+		VectorWidth: 2,
+		SharedB:     true,
+		LayoutA:     matrix.LayoutCBL, LayoutB: matrix.LayoutCBL,
+	}
+}
+
+func TestPaperParamsValidate(t *testing.T) {
+	configs := map[string]Params{
+		"tahiti-sgemm": tahitiSGEMM(),
+		"tahiti-dgemm": tahitiDGEMM(),
+		// Fermi DGEMM (Table II): 64,64,8; wi 4,4,2; 16,16; a 64,4;
+		// b 4,64; vw 1; stride N; shared A,B; CBL,RBL; PL.
+		"fermi-dgemm": {
+			Precision: matrix.Double, Algorithm: PL,
+			Mwg: 64, Nwg: 64, Kwg: 8,
+			MdimC: 16, NdimC: 16, MdimA: 64, NdimB: 64,
+			Kwi: 2, VectorWidth: 1, StrideN: true,
+			SharedA: true, SharedB: true,
+			LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutRBL,
+		},
+		// Bulldozer DGEMM (Table II): 48,32,96; wi 2,8,16; 24,4; DB.
+		"bulldozer-dgemm": {
+			Precision: matrix.Double, Algorithm: DB,
+			Mwg: 48, Nwg: 32, Kwg: 96,
+			MdimC: 24, NdimC: 4, MdimA: 24, NdimB: 2,
+			Kwi: 16, VectorWidth: 2, StrideM: true,
+			SharedB: true,
+			LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutRBL,
+		},
+	}
+	for name, p := range configs {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: paper's own config rejected: %v", name, err)
+		}
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	p := tahitiSGEMM()
+	if p.Mwi() != 6 || p.Nwi() != 6 {
+		t.Errorf("Mwi/Nwi = %d/%d, want 6/6", p.Mwi(), p.Nwi())
+	}
+	if p.WGSize() != 256 {
+		t.Errorf("WGSize = %d, want 256", p.WGSize())
+	}
+	if p.KdimA() != 16 || p.KdimB() != 16 {
+		t.Errorf("KdimA/KdimB = %d/%d, want 16/16", p.KdimA(), p.KdimB())
+	}
+	if p.MwiA() != 6 || p.KwiA() != 1 {
+		t.Errorf("MwiA/KwiA = %d/%d, want 6/1", p.MwiA(), p.KwiA())
+	}
+	if p.LCM() != 96 {
+		t.Errorf("LCM = %d, want 96", p.LCM())
+	}
+	d := tahitiDGEMM()
+	if d.LCM() != lcm(lcm(96, 32), 48) {
+		t.Errorf("LCM wrong for dgemm config")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutate := func(f func(*Params)) Params {
+		p := tahitiSGEMM()
+		f(&p)
+		return p
+	}
+	bad := map[string]Params{
+		"mwg-not-divisible": mutate(func(p *Params) { p.Mwg = 100 }),
+		"nwg-not-divisible": mutate(func(p *Params) { p.Nwg = 50 }),
+		"kwi-not-divisible": mutate(func(p *Params) { p.Kwi = 3 }),
+		"zero-kwi":          mutate(func(p *Params) { p.Kwi = 0 }),
+		"negative-mwg":      mutate(func(p *Params) { p.Mwg = -96 }),
+		"bad-vector-width":  mutate(func(p *Params) { p.VectorWidth = 3 }),
+		"nwi-not-vectorize": mutate(func(p *Params) { p.VectorWidth = 4 }), // Nwi=6
+		"mdima-not-div-wg":  mutate(func(p *Params) { p.MdimA = 24; p.Kwg = 17 }),
+		"mdima-zero-shared": mutate(func(p *Params) { p.MdimA = 0 }),
+		"mwg-not-div-mdima": mutate(func(p *Params) { p.MdimA = 64 }),
+		"db-odd-kwg":        mutate(func(p *Params) { p.Algorithm = DB; p.Kwg = 15; p.Kwi = 1 }),
+		"db-without-local":  mutate(func(p *Params) { p.Algorithm = DB; p.SharedA = false; p.SharedB = false }),
+		"unknown-layout":    mutate(func(p *Params) { p.LayoutA = matrix.Layout(99) }),
+		"zero-mdimc":        mutate(func(p *Params) { p.MdimC = 0 }),
+	}
+	for name, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation failure", name)
+		}
+	}
+}
+
+func TestCheckDevice(t *testing.T) {
+	tahiti := device.Tahiti()
+	p := tahitiSGEMM()
+	if err := p.CheckDevice(tahiti); err != nil {
+		t.Errorf("paper's Tahiti kernel rejected on Tahiti: %v", err)
+	}
+
+	// Work-group too large for AMD (max 256).
+	big := p
+	big.MdimC, big.NdimC = 32, 16
+	big.Mwg, big.Nwg = 96*2, 96 // keep divisibility: Mwi=6
+	big.MdimA, big.NdimB = 32, 32
+	if err := big.CheckDevice(tahiti); err == nil {
+		t.Error("512-item work-group must fail on Tahiti")
+	}
+
+	// Local memory overflow: huge shared panels.
+	fat := p
+	fat.Mwg, fat.Nwg, fat.Kwg = 96, 96, 96
+	fat.Kwi = 2
+	if fat.Resources().LDSBytes <= tahiti.LocalMemBytes() {
+		t.Skip("test premise wrong")
+	}
+	if err := fat.CheckDevice(tahiti); err == nil {
+		t.Error("LDS overflow must fail")
+	}
+
+	// Bulldozer PL-double quirk.
+	bd := device.Bulldozer()
+	pl := tahitiDGEMM()
+	pl.Algorithm = PL
+	if err := pl.CheckDevice(bd); err == nil {
+		t.Error("PL DGEMM must fail on Bulldozer (paper §IV-A)")
+	}
+	if err := pl.CheckDevice(tahiti); err != nil {
+		t.Errorf("PL DGEMM should work on Tahiti: %v", err)
+	}
+	plS := pl
+	plS.Precision = matrix.Single
+	plS.VectorWidth = 1
+	if err := plS.CheckDevice(bd); err != nil {
+		t.Errorf("PL SGEMM should work on Bulldozer: %v", err)
+	}
+}
+
+func TestMinK(t *testing.T) {
+	p := tahitiSGEMM()
+	if p.MinK() != 16 {
+		t.Errorf("BA MinK = %d, want Kwg", p.MinK())
+	}
+	p.Algorithm = PL
+	if p.MinK() != 32 {
+		t.Errorf("PL MinK = %d, want 2*Kwg", p.MinK())
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	for _, a := range Algorithms {
+		back, err := ParseAlgorithm(a.String())
+		if err != nil || back != a {
+			t.Errorf("algorithm round trip failed for %s", a)
+		}
+	}
+	if _, err := ParseAlgorithm("XX"); err == nil {
+		t.Error("ParseAlgorithm should reject XX")
+	}
+}
+
+func TestNameEncodesParams(t *testing.T) {
+	p := tahitiDGEMM()
+	n := p.Name()
+	for _, frag := range []string{"DGEMM", "BA", "wg96x32x48", "v2", "lmB", "CBL"} {
+		if !strings.Contains(n, frag) {
+			t.Errorf("Name() = %q missing %q", n, frag)
+		}
+	}
+	q := tahitiSGEMM()
+	if q.Name() == n {
+		t.Error("distinct params must have distinct names")
+	}
+}
+
+func TestResourcesSGEMMTahiti(t *testing.T) {
+	p := tahitiSGEMM()
+	r := p.Resources()
+	// LDS: (96*16 + 16*96) * 4 bytes = 12288.
+	if r.LDSBytes != 12288 {
+		t.Errorf("LDSBytes = %d, want 12288", r.LDSBytes)
+	}
+	// Registers: C 36 + live fragments 12 + 10 overhead = 58 words.
+	if r.RegWordsPerWI != 58 {
+		t.Errorf("RegWordsPerWI = %d, want 58", r.RegWordsPerWI)
+	}
+	// The paper's Kepler SGEMM kernel (PL, 8x4, MdimA 32, NdimB 32)
+	// must fit Kepler's 63-register limit.
+	kep := Params{
+		Precision: matrix.Single, Algorithm: PL,
+		Mwg: 64, Nwg: 64, Kwg: 8,
+		MdimC: 8, NdimC: 16, MdimA: 32, NdimB: 32,
+		Kwi: 8, VectorWidth: 2, StrideM: true,
+		SharedA: true, SharedB: true,
+		LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL,
+	}
+	if err := kep.Validate(); err != nil {
+		t.Fatalf("Kepler paper config invalid: %v", err)
+	}
+	if kr := kep.Resources(); kr.RegWordsPerWI > 63 {
+		t.Errorf("Kepler paper config needs %d regs, should fit 63", kr.RegWordsPerWI)
+	}
+	if r.UniqueAElems != 96*16 || r.UniqueBElems != 16*96 {
+		t.Errorf("unique elems wrong: %d %d", r.UniqueAElems, r.UniqueBElems)
+	}
+	// Both shared: raw == unique.
+	if r.RawAElems != r.UniqueAElems || r.RawBElems != r.UniqueBElems {
+		t.Errorf("shared operands must have raw == unique")
+	}
+	if r.BarriersPerIter != 2 {
+		t.Errorf("BA barriers = %d, want 2", r.BarriersPerIter)
+	}
+	// LDS reads: (6*16 + 16*6) * 256 work-items.
+	if r.LDSReadElems != (6*16+16*6)*256 {
+		t.Errorf("LDSReadElems = %d", r.LDSReadElems)
+	}
+}
+
+func TestResourcesDGEMMTahitiSharedBOnly(t *testing.T) {
+	p := tahitiDGEMM()
+	r := p.Resources()
+	// Only B shared: LDS = 48*32*8 = 12288.
+	if r.LDSBytes != 12288 {
+		t.Errorf("LDSBytes = %d, want 12288", r.LDSBytes)
+	}
+	// A not shared: raw = unique * NdimC.
+	if r.RawAElems != 96*48*16 {
+		t.Errorf("RawAElems = %d, want %d", r.RawAElems, 96*48*16)
+	}
+	if r.RawBElems != 48*32 {
+		t.Errorf("RawBElems = %d, want %d", r.RawBElems, 48*32)
+	}
+}
+
+func TestResourcesAlgorithmEffects(t *testing.T) {
+	base := tahitiSGEMM()
+	ba := base.Resources()
+
+	pl := base
+	pl.Algorithm = PL
+	rpl := pl.Resources()
+	if rpl.RegWordsPerWI <= ba.RegWordsPerWI {
+		t.Error("PL must use more registers than BA (staging)")
+	}
+	if rpl.LDSBytes != ba.LDSBytes {
+		t.Error("PL LDS must equal BA LDS")
+	}
+	if rpl.BarriersPerIter != 3 {
+		t.Errorf("PL barriers = %d, want 3", rpl.BarriersPerIter)
+	}
+
+	db := base
+	db.Algorithm = DB
+	rdb := db.Resources()
+	if rdb.LDSBytes != ba.LDSBytes {
+		t.Error("DB total LDS must equal BA's (two half-panel buffers, Fig. 6)")
+	}
+	if rdb.RegWordsPerWI >= rpl.RegWordsPerWI {
+		t.Error("DB must use fewer registers than PL (its advantage, §III-E)")
+	}
+}
+
+func TestResourcesNoLocal(t *testing.T) {
+	p := tahitiSGEMM()
+	p.SharedA, p.SharedB = false, false
+	r := p.Resources()
+	if r.LDSBytes != 0 || r.BarriersPerIter != 0 || r.LDSReadElems != 0 {
+		t.Error("non-shared kernel must not use LDS or barriers")
+	}
+	if r.RawAElems != r.UniqueAElems*p.NdimC {
+		t.Error("direct A loads must be redundant by NdimC")
+	}
+}
+
+func TestStrideDisablesVectorLoadsForDirectOperands(t *testing.T) {
+	p := tahitiSGEMM()
+	p.SharedA, p.SharedB = false, false
+	p.StrideM, p.StrideN = true, true
+	p.VectorWidth = 2
+	r := p.Resources()
+	if r.GlobalLoadWidthA != 1 || r.GlobalLoadWidthB != 1 {
+		t.Error("interleaved direct loads must be scalar")
+	}
+	p.SharedA, p.SharedB = true, true
+	r = p.Resources()
+	if r.GlobalLoadWidthA != 2 || r.GlobalLoadWidthB != 2 {
+		t.Error("cooperative loads keep vector width")
+	}
+}
+
+// Property: for any valid parameter set, resources are positive and
+// consistent.
+func TestResourcesConsistencyProperty(t *testing.T) {
+	f := func(mi, ni, ki, mc, nc, vwSel, algSel uint8, sharedA, sharedB bool) bool {
+		p := Params{
+			Precision:   matrix.Single,
+			Algorithm:   Algorithms[algSel%3],
+			MdimC:       int(mc%8) + 1,
+			NdimC:       int(nc%8) + 1,
+			Kwi:         1 << (ki % 3),
+			VectorWidth: 1,
+			SharedA:     sharedA, SharedB: sharedB,
+			LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL,
+		}
+		p.Mwg = p.MdimC * (int(mi%6) + 1)
+		p.Nwg = p.NdimC * (int(ni%6) + 1)
+		p.Kwg = p.Kwi * 2 * (int(ki%4) + 1)
+		p.MdimA = p.MdimC
+		p.NdimB = p.NdimC
+		// Reshape divisibility may still fail; skip those.
+		if err := p.Validate(); err != nil {
+			return true
+		}
+		r := p.Resources()
+		if r.RegWordsPerWI <= 0 || r.WGSize != p.MdimC*p.NdimC {
+			return false
+		}
+		if r.RawAElems < r.UniqueAElems || r.RawBElems < r.UniqueBElems {
+			return false
+		}
+		if (p.SharedA || p.SharedB) != (r.LDSBytes > 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+package codegen
+
+// ResourceUsage summarizes the static footprint of a generated kernel.
+// All per-iteration quantities refer to one Kwg panel processed by one
+// work-group. The performance model converts these into time.
+type ResourceUsage struct {
+	// WGSize is work-items per work-group.
+	WGSize int
+
+	// RegWordsPerWI estimates 32-bit register words per work-item:
+	// the C accumulator block, the private A/B fragments, algorithm
+	// staging registers, and addressing overhead.
+	RegWordsPerWI int
+
+	// LDSBytes is local memory per work-group (0 when nothing shared;
+	// doubled for DB).
+	LDSBytes int
+
+	// UniqueAElems/UniqueBElems are the distinct elements of A/B a
+	// work-group consumes per Kwg iteration.
+	UniqueAElems, UniqueBElems int
+
+	// RawAElems/RawBElems are the elements actually requested from
+	// global memory per iteration: equal to the unique counts for
+	// operands staged through local memory (cooperative loads touch
+	// each element once), and unique × redundancy for direct loads,
+	// where the redundancy is the number of work-items sharing each
+	// element (NdimC for A, MdimC for B). Caches absorb part of the
+	// redundant traffic; how much is a device property.
+	RawAElems, RawBElems int
+
+	// LDSReadElems is the number of local-memory elements read per
+	// work-group per Kwg iteration by the compute phase.
+	LDSReadElems int
+
+	// BarriersPerIter is the number of work-group barriers per Kwg
+	// iteration (0 when local memory is unused).
+	BarriersPerIter int
+
+	// GlobalLoadWidthA/B is the width in elements of each global load
+	// instruction for the operand (vector loads when the contiguous
+	// run allows it).
+	GlobalLoadWidthA, GlobalLoadWidthB int
+}
+
+// Resources computes the kernel's static resource usage.
+func (p *Params) Resources() ResourceUsage {
+	wpe := p.Precision.Size() / 4 // 32-bit words per element
+	mwi, nwi := p.Mwi(), p.Nwi()
+
+	var r ResourceUsage
+	r.WGSize = p.WGSize()
+
+	// Register estimate per work-item: the C accumulator block is fully
+	// live; of the A/B fragments only the current row/column of the
+	// unrolled multiply is live at a time (compilers rotate fragment
+	// registers), plus addressing overhead.
+	regs := mwi*nwi*wpe + // C accumulators
+		(mwi+nwi)*wpe + // live A/B fragment row+column
+		10 // indices, pointers, loop counters
+	switch p.Algorithm {
+	case PL:
+		// The pipelined loads stage the next panel in private memory
+		// (Fig. 5 lines 6-7): MwiA·KwiA + KwiB·NwiB extra elements.
+		staging := 0
+		if p.SharedA {
+			staging += p.MwiA() * p.KwiA()
+		} else {
+			staging += mwi + p.Kwi
+		}
+		if p.SharedB {
+			staging += p.KwiB() * p.NwiB()
+		} else {
+			staging += p.Kwi + nwi
+		}
+		regs += staging * wpe
+	case DB:
+		// DB keeps pressure low (its advantage per §III-E); only the
+		// half-panel load indices add registers.
+		regs += 4
+	}
+	r.RegWordsPerWI = regs
+
+	// Local memory. DB double-buffers *half* panels (Fig. 6 loads
+	// MwiA·(KwiA/2) elements per buffer), so its total equals BA's one
+	// full panel; the paper's Bulldozer DB configuration only fits the
+	// device's 32 KB local memory under this reading.
+	lds := 0
+	if p.SharedA {
+		lds += p.Mwg * p.Kwg * p.Precision.Size()
+	}
+	if p.SharedB {
+		lds += p.Kwg * p.Nwg * p.Precision.Size()
+	}
+	r.LDSBytes = lds
+
+	// Global traffic per Kwg iteration.
+	r.UniqueAElems = p.Mwg * p.Kwg
+	r.UniqueBElems = p.Kwg * p.Nwg
+	if p.SharedA {
+		r.RawAElems = r.UniqueAElems
+	} else {
+		r.RawAElems = r.UniqueAElems * p.NdimC
+	}
+	if p.SharedB {
+		r.RawBElems = r.UniqueBElems
+	} else {
+		r.RawBElems = r.UniqueBElems * p.MdimC
+	}
+
+	// Local-memory read traffic by the compute phase: each work-item
+	// reads Mwi·Kwg elements of A and Kwg·Nwi of B per iteration from
+	// wherever they are staged.
+	ldsReads := 0
+	if p.SharedA {
+		ldsReads += mwi * p.Kwg * r.WGSize
+	}
+	if p.SharedB {
+		ldsReads += p.Kwg * nwi * r.WGSize
+	}
+	r.LDSReadElems = ldsReads
+
+	// Barriers per Kwg iteration (Figs. 4-6).
+	if p.UsesLocalMemory() {
+		switch p.Algorithm {
+		case BA:
+			r.BarriersPerIter = 2
+		case PL:
+			r.BarriersPerIter = 3
+		case DB:
+			r.BarriersPerIter = 2
+		}
+	}
+
+	// Global load widths: loads run along the contiguous direction of
+	// the operand's layout. Block-major layouts keep Mwg/Nwg-wide rows
+	// contiguous so vector loads of the full vw are possible; row-major
+	// still has contiguous rows (stride N), so width is vw as well —
+	// the difference between layouts is modeled as stream efficiency,
+	// not load width. Direct (non-shared) strided loads in the
+	// interleaved scheme fall back to scalar width.
+	r.GlobalLoadWidthA = p.VectorWidth
+	r.GlobalLoadWidthB = p.VectorWidth
+	if !p.SharedA && p.StrideM {
+		r.GlobalLoadWidthA = 1
+	}
+	if !p.SharedB && p.StrideN {
+		r.GlobalLoadWidthB = 1
+	}
+	return r
+}

@@ -1,0 +1,91 @@
+package codegen
+
+import (
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+)
+
+// ValidFor reports whether the parameter set passes both Validate and
+// CheckDevice, without allocating errors. The search engine enumerates
+// tens of millions of raw combinations; this is its hot path. A
+// property test (TestValidForMatchesCheckDevice) keeps it in exact
+// agreement with the error-reporting path.
+func (p *Params) ValidFor(d *device.Spec) bool {
+	if p.Mwg <= 0 || p.Nwg <= 0 || p.Kwg <= 0 || p.MdimC <= 0 || p.NdimC <= 0 || p.Kwi <= 0 {
+		return false
+	}
+	if p.Mwg%p.MdimC != 0 || p.Nwg%p.NdimC != 0 {
+		return false
+	}
+	kwgSpan := p.Kwg
+	if p.Algorithm == DB {
+		if p.Kwg%2 != 0 {
+			return false
+		}
+		kwgSpan = p.Kwg / 2
+	}
+	if kwgSpan%p.Kwi != 0 {
+		return false
+	}
+	switch p.VectorWidth {
+	case 1, 2, 4, 8:
+	default:
+		return false
+	}
+	if (p.Nwg/p.NdimC)%p.VectorWidth != 0 {
+		return false
+	}
+	wg := p.MdimC * p.NdimC
+	if p.SharedA {
+		if p.MdimA <= 0 || wg%p.MdimA != 0 || p.Mwg%p.MdimA != 0 {
+			return false
+		}
+		kdimA := wg / p.MdimA
+		if p.Kwg%kdimA != 0 {
+			return false
+		}
+		if p.Algorithm == DB && (p.Kwg/kdimA)%2 != 0 {
+			return false
+		}
+	}
+	if p.SharedB {
+		if p.NdimB <= 0 || wg%p.NdimB != 0 || p.Nwg%p.NdimB != 0 {
+			return false
+		}
+		kdimB := wg / p.NdimB
+		if p.Kwg%kdimB != 0 {
+			return false
+		}
+		if p.Algorithm == DB && (p.Kwg/kdimB)%2 != 0 {
+			return false
+		}
+	}
+	if p.Algorithm == DB && !p.SharedA && !p.SharedB {
+		return false
+	}
+	for _, l := range []matrix.Layout{p.LayoutA, p.LayoutB} {
+		switch l {
+		case matrix.LayoutRowMajor, matrix.LayoutCBL, matrix.LayoutRBL:
+		default:
+			return false
+		}
+	}
+	// Device checks.
+	if wg > d.MaxWGSize {
+		return false
+	}
+	lds := 0
+	if p.SharedA {
+		lds += p.Mwg * p.Kwg * p.Precision.Size()
+	}
+	if p.SharedB {
+		lds += p.Kwg * p.Nwg * p.Precision.Size()
+	}
+	if lds > d.LocalMemBytes() {
+		return false
+	}
+	if d.PLDoubleFails && p.Algorithm == PL && p.Precision == matrix.Double {
+		return false
+	}
+	return true
+}

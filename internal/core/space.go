@@ -1,0 +1,223 @@
+// Package core implements the paper's auto-tuning system (§III-F): a
+// heuristic search engine that enumerates tens of thousands of kernel
+// variants from the code generator's parameter space, discards those
+// that fail generation or device checks (exactly as the paper discards
+// kernels failing code generation, compilation or testing), and selects
+// the fastest through the paper's three-stage procedure:
+//
+//  1. measure every candidate at one probe size
+//     (⌊4096/LCM⌋·LCM on GPUs, ⌊1536/LCM⌋·LCM on CPUs);
+//  2. re-measure the fastest 50 candidates over all sizes
+//     N ≤ 8192 in multiples of LCM;
+//  3. pick the kernel with the best performance among those.
+package core
+
+import (
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+)
+
+// SharedMode is one local-memory configuration.
+type SharedMode struct{ A, B bool }
+
+// StrideMode is one stride configuration (§III-B).
+type StrideMode struct{ M, N bool }
+
+// LayoutPair couples the layouts of the two copied operands.
+type LayoutPair struct{ A, B matrix.Layout }
+
+// Space describes the candidate values the search engine crosses. The
+// defaults are the "heuristically chosen" variants of the paper.
+type Space struct {
+	Mwg, Nwg, Kwg []int
+	MdimC, NdimC  []int
+	// ReshapeDivisors are candidate MdimA/NdimB values; only those
+	// dividing the work-group size survive validation.
+	ReshapeDivisors []int
+	Kwi             []int
+	VectorWidths    []int
+	Algorithms      []codegen.Algorithm
+	Shared          []SharedMode
+	Strides         []StrideMode
+	Layouts         []LayoutPair
+
+	// MaxWorkItemTile bounds Mwi·Nwi (register pressure heuristic).
+	MaxWorkItemTile int
+	// MinWorkGroup/MaxWorkGroup bound MdimC·NdimC.
+	MinWorkGroup, MaxWorkGroup int
+}
+
+// DefaultSpace returns the full search space of the improved generator,
+// adapted to the device class (CPUs prefer flatter work-groups and
+// wider vectors; the work-group ceiling comes from the device).
+func DefaultSpace(d *device.Spec) Space {
+	s := Space{
+		Mwg:             []int{16, 32, 48, 64, 96, 128},
+		Nwg:             []int{16, 32, 48, 64, 96, 128},
+		Kwg:             []int{8, 16, 32, 48, 64, 96, 192},
+		MdimC:           []int{4, 8, 16, 24, 32},
+		NdimC:           []int{4, 8, 16, 32},
+		ReshapeDivisors: []int{4, 8, 16, 24, 32, 64},
+		Kwi:             []int{1, 2, 4, 8, 16},
+		VectorWidths:    []int{1, 2, 4, 8},
+		Algorithms:      []codegen.Algorithm{codegen.BA, codegen.PL, codegen.DB},
+		Shared: []SharedMode{
+			{false, false}, {true, false}, {false, true}, {true, true},
+		},
+		Strides: []StrideMode{
+			{false, false}, {true, false}, {false, true}, {true, true},
+		},
+		Layouts: []LayoutPair{
+			{matrix.LayoutCBL, matrix.LayoutCBL},
+			{matrix.LayoutCBL, matrix.LayoutRBL},
+			{matrix.LayoutRBL, matrix.LayoutRBL},
+			{matrix.LayoutRowMajor, matrix.LayoutRowMajor},
+		},
+		MaxWorkItemTile: 144,
+		MinWorkGroup:    16,
+		MaxWorkGroup:    d.MaxWGSize,
+	}
+	return s
+}
+
+// PreviousStudySpace returns the restricted space of the authors'
+// previous generator ([13], MCSoC-12), used as the "Our previous study"
+// series in Fig. 9: six blocking parameters limited to powers of two,
+// only the BA algorithm, local memory for at most one matrix, and no
+// non-unit stride mode.
+func PreviousStudySpace(d *device.Spec) Space {
+	s := DefaultSpace(d)
+	s.Mwg = []int{16, 32, 64, 128}
+	s.Nwg = []int{16, 32, 64, 128}
+	s.Kwg = []int{8, 16, 32, 64}
+	s.MdimC = []int{4, 8, 16, 32}
+	s.NdimC = []int{4, 8, 16, 32}
+	s.ReshapeDivisors = nil // previous generator: loads are not reshaped
+	s.Kwi = []int{1, 2, 4, 8, 16}
+	s.Algorithms = []codegen.Algorithm{codegen.BA}
+	s.Shared = []SharedMode{{false, false}, {true, false}, {false, true}}
+	s.Strides = []StrideMode{{false, false}}
+	return s
+}
+
+// LayoutRestrictedSpace returns the default space restricted to one
+// layout pair; used for the paper's row-major-only ablation ("fastest
+// DGEMM kernel without using block-major data layouts").
+func LayoutRestrictedSpace(d *device.Spec, lp LayoutPair) Space {
+	s := DefaultSpace(d)
+	s.Layouts = []LayoutPair{lp}
+	return s
+}
+
+// NoLocalMemorySpace returns the default space with local memory
+// disabled (the paper's local-memory ablation, §IV-A).
+func NoLocalMemorySpace(d *device.Spec) Space {
+	s := DefaultSpace(d)
+	s.Shared = []SharedMode{{false, false}}
+	s.Algorithms = []codegen.Algorithm{codegen.BA, codegen.PL}
+	return s
+}
+
+// AlgorithmSpace restricts the default space to a single algorithm
+// (Fig. 8: relative performance of BA/PL/DB per device).
+func AlgorithmSpace(d *device.Spec, a codegen.Algorithm) Space {
+	s := DefaultSpace(d)
+	s.Algorithms = []codegen.Algorithm{a}
+	if a == codegen.DB {
+		// DB requires local memory by construction.
+		s.Shared = []SharedMode{{true, false}, {false, true}, {true, true}}
+	}
+	return s
+}
+
+// Enumerate crosses the space and yields every *valid* parameter set
+// for the device and precision, invoking fn for each. Candidates that
+// fail validation or the device check are tallied but not yielded,
+// mirroring the paper's accounting of kernels that fail generation,
+// compilation or testing. Enumeration stops early if fn returns false.
+func (s Space) Enumerate(d *device.Spec, prec matrix.Precision, fn func(codegen.Params) bool) (valid, rejected int) {
+	reshapeA := s.ReshapeDivisors
+	reshapeB := s.ReshapeDivisors
+	for _, mdimC := range s.MdimC {
+		for _, ndimC := range s.NdimC {
+			wg := mdimC * ndimC
+			if wg < s.MinWorkGroup || wg > s.MaxWorkGroup {
+				continue
+			}
+			for _, mwg := range s.Mwg {
+				if mwg%mdimC != 0 {
+					continue
+				}
+				for _, nwg := range s.Nwg {
+					if nwg%ndimC != 0 {
+						continue
+					}
+					if tile := (mwg / mdimC) * (nwg / ndimC); tile > s.MaxWorkItemTile {
+						continue
+					}
+					for _, kwg := range s.Kwg {
+						for _, kwi := range s.Kwi {
+							if kwg%kwi != 0 {
+								continue
+							}
+							for _, vw := range s.VectorWidths {
+								if (nwg/ndimC)%vw != 0 {
+									continue
+								}
+								for _, alg := range s.Algorithms {
+									for _, sh := range s.Shared {
+										ra := pick(reshapeA, sh.A, mdimC)
+										rb := pick(reshapeB, sh.B, ndimC)
+										for _, mdimA := range ra {
+											for _, ndimB := range rb {
+												// Validity does not depend on
+												// stride or layout; check once.
+												p := codegen.Params{
+													Precision: prec, Algorithm: alg,
+													Mwg: mwg, Nwg: nwg, Kwg: kwg,
+													MdimC: mdimC, NdimC: ndimC,
+													MdimA: mdimA, NdimB: ndimB,
+													Kwi: kwi, VectorWidth: vw,
+													SharedA: sh.A, SharedB: sh.B,
+													LayoutA: s.Layouts[0].A, LayoutB: s.Layouts[0].B,
+												}
+												combos := len(s.Strides) * len(s.Layouts)
+												if !p.ValidFor(d) {
+													rejected += combos
+													continue
+												}
+												valid += combos
+												for _, st := range s.Strides {
+													for _, lp := range s.Layouts {
+														p.StrideM, p.StrideN = st.M, st.N
+														p.LayoutA, p.LayoutB = lp.A, lp.B
+														if !fn(p) {
+															return valid, rejected
+														}
+													}
+												}
+											}
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return valid, rejected
+}
+
+// pick returns the reshape-divisor candidates for one operand: the
+// space's divisors when the operand is shared (falling back to the
+// work-group dimension), or just the work-group dimension when not
+// shared (the value is ignored by the generator then).
+func pick(divisors []int, shared bool, dflt int) []int {
+	if !shared || len(divisors) == 0 {
+		return []int{dflt}
+	}
+	return divisors
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+)
+
+// The paper's engine measures a heuristically sampled slice of the full
+// cross product (Search). This file adds two classic alternatives from
+// the autotuning literature — uniform random sampling and simulated
+// annealing over the parameter lattice — so the repository can compare
+// search strategies at equal evaluation budgets (an extension the paper
+// leaves open).
+
+// Sampler draws random valid parameter sets from a space.
+type Sampler struct {
+	space *Space
+	dev   *device.Spec
+	prec  matrix.Precision
+	rng   *rand.Rand
+}
+
+// NewSampler creates a sampler with a deterministic seed.
+func NewSampler(s *Space, d *device.Spec, prec matrix.Precision, seed int64) *Sampler {
+	return &Sampler{space: s, dev: d, prec: prec, rng: rand.New(rand.NewSource(seed))}
+}
+
+func pickOne[T any](rng *rand.Rand, xs []T) T { return xs[rng.Intn(len(xs))] }
+
+// Draw returns a random valid parameter set, or ok=false if none was
+// found within the attempt budget (space too constrained).
+func (sm *Sampler) Draw() (codegen.Params, bool) {
+	for attempt := 0; attempt < 2000; attempt++ {
+		s := sm.space
+		sh := pickOne(sm.rng, s.Shared)
+		st := pickOne(sm.rng, s.Strides)
+		lp := pickOne(sm.rng, s.Layouts)
+		mdimC := pickOne(sm.rng, s.MdimC)
+		ndimC := pickOne(sm.rng, s.NdimC)
+		p := codegen.Params{
+			Precision:   sm.prec,
+			Algorithm:   pickOne(sm.rng, s.Algorithms),
+			Mwg:         pickOne(sm.rng, s.Mwg),
+			Nwg:         pickOne(sm.rng, s.Nwg),
+			Kwg:         pickOne(sm.rng, s.Kwg),
+			MdimC:       mdimC,
+			NdimC:       ndimC,
+			MdimA:       mdimC,
+			NdimB:       ndimC,
+			Kwi:         pickOne(sm.rng, s.Kwi),
+			VectorWidth: pickOne(sm.rng, s.VectorWidths),
+			StrideM:     st.M, StrideN: st.N,
+			SharedA: sh.A, SharedB: sh.B,
+			LayoutA: lp.A, LayoutB: lp.B,
+		}
+		if len(s.ReshapeDivisors) > 0 {
+			if sh.A {
+				p.MdimA = pickOne(sm.rng, s.ReshapeDivisors)
+			}
+			if sh.B {
+				p.NdimB = pickOne(sm.rng, s.ReshapeDivisors)
+			}
+		}
+		wg := p.MdimC * p.NdimC
+		if wg < s.MinWorkGroup || wg > s.MaxWorkGroup {
+			continue
+		}
+		if tile := p.Mwi() * p.Nwi(); tile > s.MaxWorkItemTile {
+			continue
+		}
+		if p.ValidFor(sm.dev) {
+			return p, true
+		}
+	}
+	return codegen.Params{}, false
+}
+
+// Mutate returns a neighbor of p: one randomly chosen dimension is
+// re-drawn from the space. Invalid neighbors are retried; if none is
+// found, p itself is returned.
+func (sm *Sampler) Mutate(p codegen.Params) codegen.Params {
+	s := sm.space
+	for attempt := 0; attempt < 200; attempt++ {
+		q := p
+		switch sm.rng.Intn(9) {
+		case 0:
+			q.Mwg = pickOne(sm.rng, s.Mwg)
+		case 1:
+			q.Nwg = pickOne(sm.rng, s.Nwg)
+		case 2:
+			q.Kwg = pickOne(sm.rng, s.Kwg)
+		case 3:
+			q.MdimC = pickOne(sm.rng, s.MdimC)
+			if !q.SharedA || len(s.ReshapeDivisors) == 0 {
+				q.MdimA = q.MdimC
+			}
+		case 4:
+			q.NdimC = pickOne(sm.rng, s.NdimC)
+			if !q.SharedB || len(s.ReshapeDivisors) == 0 {
+				q.NdimB = q.NdimC
+			}
+		case 5:
+			q.Kwi = pickOne(sm.rng, s.Kwi)
+		case 6:
+			q.VectorWidth = pickOne(sm.rng, s.VectorWidths)
+		case 7:
+			sh := pickOne(sm.rng, s.Shared)
+			q.SharedA, q.SharedB = sh.A, sh.B
+			if !sh.A {
+				q.MdimA = q.MdimC
+			}
+			if !sh.B {
+				q.NdimB = q.NdimC
+			}
+		default:
+			q.Algorithm = pickOne(sm.rng, s.Algorithms)
+			st := pickOne(sm.rng, s.Strides)
+			q.StrideM, q.StrideN = st.M, st.N
+			lp := pickOne(sm.rng, s.Layouts)
+			q.LayoutA, q.LayoutB = lp.A, lp.B
+		}
+		wg := q.MdimC * q.NdimC
+		if wg < s.MinWorkGroup || wg > s.MaxWorkGroup {
+			continue
+		}
+		if tile := q.Mwi() * q.Nwi(); tile > s.MaxWorkItemTile {
+			continue
+		}
+		if q.ValidFor(sm.dev) {
+			return q
+		}
+	}
+	return p
+}
+
+// StrategyResult is the outcome of a budgeted search strategy.
+type StrategyResult struct {
+	Best  Result
+	Evals int
+	// Trace records the best-so-far after each evaluation (for
+	// convergence plots).
+	Trace []float64
+}
+
+// RandomSearch evaluates `budget` uniformly drawn candidates at the
+// probe size and returns the best (with its stage-2 curve filled in).
+func (t *Tuner) RandomSearch(budget int, seed int64) (*StrategyResult, error) {
+	o := t.opts
+	sm := NewSampler(o.Space, o.Device, o.Precision, seed)
+	res := &StrategyResult{}
+	for i := 0; i < budget; i++ {
+		p, ok := sm.Draw()
+		if !ok {
+			return nil, fmt.Errorf("core: random search found no valid candidates")
+		}
+		n := ProbeSize(o.Device, &p)
+		gf, err := o.Evaluator(o.Device, &p, n)
+		if err != nil {
+			gf = 0
+		}
+		res.Evals++
+		if gf > res.Best.Probe {
+			res.Best = Result{Params: p, Probe: gf}
+		}
+		res.Trace = append(res.Trace, res.Best.Probe)
+	}
+	t.fillCurve(&res.Best)
+	return res, nil
+}
+
+// Anneal runs simulated annealing over the parameter lattice for
+// `budget` evaluations with a geometric temperature schedule, starting
+// from a random valid configuration.
+func (t *Tuner) Anneal(budget int, seed int64) (*StrategyResult, error) {
+	o := t.opts
+	sm := NewSampler(o.Space, o.Device, o.Precision, seed)
+	cur, ok := sm.Draw()
+	if !ok {
+		return nil, fmt.Errorf("core: annealing found no valid starting point")
+	}
+	eval := func(p *codegen.Params) float64 {
+		gf, err := o.Evaluator(o.Device, p, ProbeSize(o.Device, p))
+		if err != nil {
+			return 0
+		}
+		return gf
+	}
+	curGF := eval(&cur)
+	res := &StrategyResult{Best: Result{Params: cur, Probe: curGF}, Evals: 1,
+		Trace: []float64{curGF}}
+
+	peak := o.Device.PeakGFlops(o.Precision)
+	// Temperature in GFlop/s: start accepting ~10%-of-peak regressions,
+	// end near hill climbing.
+	t0, t1 := 0.10*peak, 0.002*peak
+	for i := 1; i < budget; i++ {
+		frac := float64(i) / float64(budget)
+		temp := t0 * math.Pow(t1/t0, frac)
+		cand := sm.Mutate(cur)
+		gf := eval(&cand)
+		res.Evals++
+		if gf >= curGF || sm.rng.Float64() < math.Exp((gf-curGF)/temp) {
+			cur, curGF = cand, gf
+		}
+		if gf > res.Best.Probe {
+			res.Best = Result{Params: cand, Probe: gf}
+		}
+		res.Trace = append(res.Trace, res.Best.Probe)
+	}
+	t.fillCurve(&res.Best)
+	return res, nil
+}
+
+// fillCurve computes the stage-2 curve for a strategy's winner.
+func (t *Tuner) fillCurve(r *Result) {
+	o := t.opts
+	for _, n := range Sizes(r.Params.LCM(), o.MaxSize) {
+		gf, err := o.Evaluator(o.Device, &r.Params, n)
+		if err != nil {
+			continue
+		}
+		r.Curve = append(r.Curve, SizedPerf{N: n, GFlops: gf})
+		if gf > r.Best {
+			r.Best = gf
+			r.BestN = n
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+)
+
+func strategyTuner(t *testing.T, devID string) *Tuner {
+	t.Helper()
+	d, err := device.ByID(devID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := New(Options{Device: d, Precision: matrix.Single, MaxSize: 6144})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tn
+}
+
+func TestSamplerDrawValid(t *testing.T) {
+	d := device.Tahiti()
+	s := DefaultSpace(d)
+	sm := NewSampler(&s, d, matrix.Double, 1)
+	for i := 0; i < 200; i++ {
+		p, ok := sm.Draw()
+		if !ok {
+			t.Fatal("sampler could not draw")
+		}
+		if !p.ValidFor(d) {
+			t.Fatalf("invalid draw: %s", p.Name())
+		}
+		if p.MdimC*p.NdimC > s.MaxWorkGroup || p.Mwi()*p.Nwi() > s.MaxWorkItemTile {
+			t.Fatalf("draw violates space bounds: %s", p.Name())
+		}
+	}
+}
+
+func TestSamplerMutateValid(t *testing.T) {
+	d := device.Fermi()
+	s := DefaultSpace(d)
+	sm := NewSampler(&s, d, matrix.Single, 2)
+	p, ok := sm.Draw()
+	if !ok {
+		t.Fatal("no starting point")
+	}
+	changed := 0
+	for i := 0; i < 300; i++ {
+		q := sm.Mutate(p)
+		if !q.ValidFor(d) {
+			t.Fatalf("invalid mutation: %s", q.Name())
+		}
+		if q != p {
+			changed++
+		}
+		p = q
+	}
+	if changed < 100 {
+		t.Errorf("mutations barely move: %d/300", changed)
+	}
+}
+
+func TestRandomSearchFindsGoodKernel(t *testing.T) {
+	tn := strategyTuner(t, "tahiti")
+	res, err := tn.RandomSearch(400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals != 400 || len(res.Trace) != 400 {
+		t.Fatalf("budget accounting wrong: %d evals, %d trace", res.Evals, len(res.Trace))
+	}
+	// Trace must be non-decreasing (best-so-far).
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i] < res.Trace[i-1] {
+			t.Fatal("best-so-far trace decreased")
+		}
+	}
+	// 400 random draws should already find a decent SGEMM kernel.
+	if res.Best.Best < 2000 {
+		t.Errorf("random search best %f too low", res.Best.Best)
+	}
+	if len(res.Best.Curve) == 0 {
+		t.Error("winner must carry a curve")
+	}
+}
+
+func TestAnnealConvergesAtLeastAsWellAsRandom(t *testing.T) {
+	tn := strategyTuner(t, "fermi")
+	budget := 400
+	rnd, err := tn.RandomSearch(budget, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, err := tn.Anneal(budget, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann.Evals != budget {
+		t.Fatalf("anneal evals = %d", ann.Evals)
+	}
+	// Annealing exploits structure; with equal budgets it should not
+	// lose badly to uniform sampling (allow 10% stochastic slack).
+	if ann.Best.Probe < 0.9*rnd.Best.Probe {
+		t.Errorf("anneal (%.0f) lost badly to random (%.0f)", ann.Best.Probe, rnd.Best.Probe)
+	}
+}
+
+// All three strategies agree on the neighborhood of the optimum: their
+// winners are within a reasonable band of the sampled-exhaustive best.
+func TestStrategiesReachExhaustiveBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three searches")
+	}
+	tn := strategyTuner(t, "cayman")
+	ex, err := tn.Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, err := tn.Anneal(1500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann.Best.Best < 0.85*ex.Best.Best {
+		t.Errorf("anneal best %.0f below 85%% of exhaustive %.0f", ann.Best.Best, ex.Best.Best)
+	}
+	if ann.Best.Best > 1.02*ex.Best.Best {
+		t.Errorf("anneal best %.0f implausibly above exhaustive %.0f", ann.Best.Best, ex.Best.Best)
+	}
+}
+
+// Strategies respect restricted spaces (e.g. Bulldozer never draws a
+// PL double kernel).
+func TestStrategiesRespectDeviceQuirks(t *testing.T) {
+	d := device.Bulldozer()
+	tn, err := New(Options{Device: d, Precision: matrix.Double, MaxSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tn.RandomSearch(300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Params.Algorithm == codegen.PL {
+		t.Error("random search returned a PL DGEMM kernel on Bulldozer")
+	}
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+	"oclgemm/internal/perfmodel"
+)
+
+// Evaluator measures one kernel variant at one problem size, returning
+// GFlop/s. The production evaluator is the performance model; tests may
+// substitute their own.
+type Evaluator func(d *device.Spec, p *codegen.Params, n int) (float64, error)
+
+// ModelEvaluator evaluates square problems through the performance
+// model (the paper's wall-clock measurement step).
+func ModelEvaluator(d *device.Spec, p *codegen.Params, n int) (float64, error) {
+	return perfmodel.KernelGFlops(d, p, n, n, n)
+}
+
+// Options configures a tuning run.
+type Options struct {
+	Device    *device.Spec
+	Precision matrix.Precision
+
+	// Space is the candidate space; zero value means DefaultSpace.
+	Space *Space
+
+	// Finalists is the number of stage-2 kernels (paper: 50).
+	Finalists int
+	// MaxSize is the largest stage-2 problem size (paper: 8192).
+	MaxSize int
+	// MaxCandidates caps stage-1 evaluations by deterministic
+	// decimation of the enumeration; this is the engine's heuristic
+	// sampling (the paper likewise measures "tens of thousands" of
+	// heuristically chosen variants, not the full cross product).
+	// 0 means the default of 25000; negative means no cap.
+	MaxCandidates int
+	// Workers bounds evaluation parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Evaluator overrides the measurement function (nil = model).
+	Evaluator Evaluator
+}
+
+// SizedPerf is one point of a performance curve.
+type SizedPerf struct {
+	N      int
+	GFlops float64
+}
+
+// Result describes one tuned kernel variant.
+type Result struct {
+	Params codegen.Params
+	// Probe is the stage-1 performance at the probe size.
+	Probe float64
+	// Curve is the stage-2 performance over sizes (finalists only).
+	Curve []SizedPerf
+	// Best is the maximum GFlop/s over the curve.
+	Best float64
+	// BestN is the size at which Best was observed.
+	BestN int
+}
+
+// Stats tallies a search run the way the paper reports it: variants
+// that failed generation/compilation/testing are not counted among the
+// tested kernels.
+type Stats struct {
+	Enumerated  int // valid candidates measured in stage 1
+	Rejected    int // failed generation or device checks
+	ProbeSize   int
+	Stage2      int // finalists re-measured across sizes
+	Stage2Evals int
+}
+
+// Selection is the outcome of a search.
+type Selection struct {
+	Best      Result
+	Finalists []Result
+	Stats     Stats
+}
+
+// Tuner is the auto-tuning system: code generator parameter space plus
+// heuristic search engine.
+type Tuner struct {
+	opts Options
+}
+
+// New creates a tuner. Device and a valid precision are required.
+func New(opts Options) (*Tuner, error) {
+	if opts.Device == nil {
+		return nil, errors.New("core: Options.Device is required")
+	}
+	if opts.Finalists <= 0 {
+		opts.Finalists = 50
+	}
+	if opts.MaxSize <= 0 {
+		opts.MaxSize = 8192
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxCandidates == 0 {
+		opts.MaxCandidates = 25000
+	}
+	if opts.Evaluator == nil {
+		opts.Evaluator = ModelEvaluator
+	}
+	if opts.Space == nil {
+		s := DefaultSpace(opts.Device)
+		opts.Space = &s
+	}
+	return &Tuner{opts: opts}, nil
+}
+
+// ProbeSize returns the paper's stage-1 problem size for the given
+// kernel: ⌊4096/LCM⌋·LCM on GPUs and ⌊1536/LCM⌋·LCM on CPUs, where LCM
+// is the least common multiple of the work-group blocking factors.
+func ProbeSize(d *device.Spec, p *codegen.Params) int {
+	base := 4096
+	if d.Kind == device.CPU {
+		base = 1536
+	}
+	l := p.LCM()
+	n := base / l * l
+	if n < l {
+		n = l
+	}
+	return n
+}
+
+// Sizes returns the stage-2 sweep: multiples of lcm up to max,
+// thinned to at most 64 points to bound work for tiny LCMs.
+func Sizes(lcm, max int) []int {
+	if lcm <= 0 || max < lcm {
+		return nil
+	}
+	count := max / lcm
+	step := 1
+	if count > 64 {
+		step = (count + 63) / 64
+	}
+	var out []int
+	for i := step; i*lcm <= max; i += step {
+		out = append(out, i*lcm)
+	}
+	return out
+}
+
+// Search runs the three-stage selection and returns the fastest kernel.
+func (t *Tuner) Search() (*Selection, error) {
+	o := t.opts
+
+	// Stage 0: count the valid candidates, then sample the space with a
+	// deterministic stride so the measured set stays representative.
+	valid, rejected := o.Space.Enumerate(o.Device, o.Precision, func(codegen.Params) bool { return true })
+	if valid == 0 {
+		return nil, fmt.Errorf("core: no valid kernel variants for %s %s",
+			o.Device.CodeName, o.Precision.GEMMName())
+	}
+	step := 1
+	if o.MaxCandidates > 0 && valid > o.MaxCandidates {
+		step = valid / o.MaxCandidates
+		if valid%o.MaxCandidates != 0 {
+			step++
+		}
+	}
+	candidates := make([]codegen.Params, 0, valid/step+1)
+	idx := 0
+	o.Space.Enumerate(o.Device, o.Precision, func(p codegen.Params) bool {
+		if idx%step == 0 {
+			candidates = append(candidates, p)
+		}
+		idx++
+		return true
+	})
+
+	// Stage 1: measure every candidate at its probe size.
+	results := make([]Result, len(candidates))
+	t.parallelFor(len(candidates), func(i int) {
+		p := candidates[i]
+		n := ProbeSize(o.Device, &p)
+		gf, err := o.Evaluator(o.Device, &p, n)
+		if err != nil {
+			gf = 0 // failed in testing: not counted (sorted to the bottom)
+		}
+		results[i] = Result{Params: p, Probe: gf}
+	})
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Probe > results[j].Probe })
+
+	nFinal := o.Finalists
+	if nFinal > len(results) {
+		nFinal = len(results)
+	}
+	finalists := results[:nFinal]
+
+	// Stage 2: re-measure finalists across sizes.
+	stage2Evals := 0
+	t.parallelFor(len(finalists), func(i int) {
+		r := &finalists[i]
+		sizes := Sizes(r.Params.LCM(), o.MaxSize)
+		for _, n := range sizes {
+			gf, err := o.Evaluator(o.Device, &r.Params, n)
+			if err != nil {
+				continue
+			}
+			r.Curve = append(r.Curve, SizedPerf{N: n, GFlops: gf})
+			if gf > r.Best {
+				r.Best = gf
+				r.BestN = n
+			}
+		}
+	})
+	for i := range finalists {
+		stage2Evals += len(finalists[i].Curve)
+	}
+
+	// Stage 3: select the fastest kernel.
+	best := 0
+	for i := 1; i < len(finalists); i++ {
+		if finalists[i].Best > finalists[best].Best {
+			best = i
+		}
+	}
+
+	sel := &Selection{
+		Best:      finalists[best],
+		Finalists: append([]Result(nil), finalists...),
+		Stats: Stats{
+			Enumerated:  valid,
+			Rejected:    rejected,
+			Stage2:      len(finalists),
+			Stage2Evals: stage2Evals,
+		},
+	}
+	if len(finalists) > 0 {
+		sel.Stats.ProbeSize = ProbeSize(o.Device, &finalists[0].Params)
+	}
+	return sel, nil
+}
+
+// Curve evaluates one kernel across the stage-2 sizes (used by the
+// figure harness to plot the selected kernel).
+func (t *Tuner) Curve(p codegen.Params, maxSize int) []SizedPerf {
+	sizes := Sizes(p.LCM(), maxSize)
+	out := make([]SizedPerf, 0, len(sizes))
+	for _, n := range sizes {
+		gf, err := t.opts.Evaluator(t.opts.Device, &p, n)
+		if err != nil {
+			continue
+		}
+		out = append(out, SizedPerf{N: n, GFlops: gf})
+	}
+	return out
+}
+
+func (t *Tuner) parallelFor(n int, fn func(i int)) {
+	workers := t.opts.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

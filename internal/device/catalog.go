@@ -1,0 +1,228 @@
+package device
+
+// The six processors of Table I. Identity rows are the paper's values;
+// where our copy of the table is truncated (CPU memory bandwidth) the
+// part's published specification is used and noted. Architectural model
+// fields come from the vendors' ISA/optimization guides for each
+// microarchitecture. Calibration targets (paper Table II best-kernel
+// results) are noted per device.
+
+// Tahiti returns the AMD Radeon HD 7970 (GCN).
+// Calibration targets: DGEMM 863 GFlop/s (91%), SGEMM 3047 GFlop/s (80%).
+func Tahiti() *Spec {
+	return &Spec{
+		ID: "tahiti", CodeName: "Tahiti", Product: "Radeon HD 7970",
+		Kind: GPU, ClockGHz: 0.925, BoostFactor: 1.0,
+		ComputeUnits:  32,
+		DPOpsPerClock: 1024, SPOpsPerClock: 4096,
+		GlobalMemGB: 3, BandwidthGBs: 264,
+		L3KB: 0, L2KB: 768, L1KB: 16,
+		LocalMemKB: 64, LocalMem: Scratchpad,
+		OpenCLSDK: "AMD APP 2.6", Driver: "Catalyst 12.3",
+
+		Wavefront: 64, MaxWGSize: 256, MaxWGPerCU: 16, MaxWavesPerCU: 40,
+		RegFileWords: 65536, MaxRegsPerWI: 256,
+
+		BarrierCycles: 40, LDSBytesPerClk: 128, LDSBanks: 32,
+		WavesForOverlap: 8, LaunchOverheadUS: 8,
+
+		CacheReuseEff:      0.97,
+		CoalesceUnitStride: 0.88, CoalesceNonUnit: 0.95,
+		RowMajorEff: 0.55, BankConflictFactor: 0.35, CopyBWFrac: 0.70,
+
+		VecWidthSP: 1, VecWidthDP: 1, MinILP: 8,
+		ComputeEffSP: 0.87, ComputeEffDP: 0.98, SpillPenalty: 0.40,
+		CalibDP: 1.16, CalibSP: 1.12,
+	}
+}
+
+// Cayman returns the AMD Radeon HD 6970 (VLIW4). The paper observes that
+// kernels using local memory run slower here (barrier cost), so the
+// barrier cost is the distinguishing constant.
+// Calibration targets: DGEMM 580 GFlop/s (86%), SGEMM 2167 GFlop/s (80%).
+func Cayman() *Spec {
+	return &Spec{
+		ID: "cayman", CodeName: "Cayman", Product: "Radeon HD 6970",
+		Kind: GPU, ClockGHz: 0.88, BoostFactor: 1.0,
+		ComputeUnits:  24,
+		DPOpsPerClock: 768, SPOpsPerClock: 3072,
+		GlobalMemGB: 1, BandwidthGBs: 176,
+		L3KB: 0, L2KB: 512, L1KB: 8,
+		LocalMemKB: 32, LocalMem: Scratchpad,
+		OpenCLSDK: "AMD APP 2.6", Driver: "Catalyst 11.11",
+
+		Wavefront: 64, MaxWGSize: 256, MaxWGPerCU: 8, MaxWavesPerCU: 32,
+		RegFileWords: 65536, MaxRegsPerWI: 256,
+
+		BarrierCycles: 600, LDSBytesPerClk: 64, LDSBanks: 32,
+		WavesForOverlap: 5, LaunchOverheadUS: 8,
+
+		CacheReuseEff:      0.95,
+		CoalesceUnitStride: 0.90, CoalesceNonUnit: 0.92,
+		RowMajorEff: 0.55, BankConflictFactor: 0.45, CopyBWFrac: 0.65,
+
+		VecWidthSP: 4, VecWidthDP: 2, MinILP: 4,
+		ComputeEffSP: 0.87, ComputeEffDP: 0.93, SpillPenalty: 0.40,
+		CalibDP: 1.14, CalibSP: 1.11,
+	}
+}
+
+// Kepler returns the NVIDIA GeForce GTX 670 (overclocked). GPU Boost
+// raises the sustained clock above the base used for Table I peaks,
+// which is how the paper's DGEMM efficiency exceeds 100%.
+// Calibration targets: DGEMM 128 GFlop/s (105%), SGEMM 1440 GFlop/s (49%).
+func Kepler() *Spec {
+	return &Spec{
+		ID: "kepler", CodeName: "Kepler", Product: "GeForce GTX 670 OC",
+		Kind: GPU, ClockGHz: 1.085, BoostFactor: 1.10,
+		ComputeUnits:  7,
+		DPOpsPerClock: 112, SPOpsPerClock: 2688,
+		GlobalMemGB: 2, BandwidthGBs: 192,
+		L3KB: 0, L2KB: 512, L1KB: 64,
+		LocalMemKB: 48, LocalMem: Scratchpad,
+		OpenCLSDK: "CUDA 5.0 RC", Driver: "304.33",
+
+		Wavefront: 32, MaxWGSize: 1024, MaxWGPerCU: 16, MaxWavesPerCU: 64,
+		RegFileWords: 65536, MaxRegsPerWI: 63,
+
+		BarrierCycles: 30, LDSBytesPerClk: 128, LDSBanks: 32,
+		WavesForOverlap: 12, LaunchOverheadUS: 6,
+
+		CacheReuseEff:      0.75,
+		CoalesceUnitStride: 0.45, CoalesceNonUnit: 0.95,
+		RowMajorEff: 0.75, BankConflictFactor: 0.80, CopyBWFrac: 0.70,
+
+		VecWidthSP: 1, VecWidthDP: 1, MinILP: 10,
+		ComputeEffSP: 0.75, ComputeEffDP: 0.98, SpillPenalty: 0.40,
+		CalibDP: 1.33, CalibSP: 1.23,
+	}
+}
+
+// Fermi returns the NVIDIA Tesla M2090.
+// Calibration targets: DGEMM 370 GFlop/s (56%), SGEMM 896 GFlop/s (67%).
+func Fermi() *Spec {
+	return &Spec{
+		ID: "fermi", CodeName: "Fermi", Product: "Tesla M2090",
+		Kind: GPU, ClockGHz: 1.3, BoostFactor: 1.0,
+		ComputeUnits:  16,
+		DPOpsPerClock: 512, SPOpsPerClock: 1024,
+		GlobalMemGB: 6, BandwidthGBs: 177,
+		L3KB: 0, L2KB: 768, L1KB: 16,
+		LocalMemKB: 48, LocalMem: Scratchpad,
+		OpenCLSDK: "CUDA 4.1.28", Driver: "285.05",
+
+		Wavefront: 32, MaxWGSize: 1024, MaxWGPerCU: 8, MaxWavesPerCU: 48,
+		RegFileWords: 32768, MaxRegsPerWI: 63,
+
+		BarrierCycles: 35, LDSBytesPerClk: 64, LDSBanks: 32,
+		WavesForOverlap: 8, LaunchOverheadUS: 6,
+
+		CacheReuseEff:      0.75,
+		CoalesceUnitStride: 0.45, CoalesceNonUnit: 0.92,
+		RowMajorEff: 0.75, BankConflictFactor: 0.80, CopyBWFrac: 0.65,
+
+		VecWidthSP: 1, VecWidthDP: 1, MinILP: 7,
+		ComputeEffSP: 0.73, ComputeEffDP: 0.84, SpillPenalty: 0.40,
+		CalibDP: 0.85, CalibSP: 1.04,
+	}
+}
+
+// SandyBridge returns the Intel Core i7 3960X. Table I's bandwidth row is
+// truncated in our source; 51.2 GB/s is the part's quad-channel
+// DDR3-1600 specification. The low ComputeEff reflects the paper's
+// observation that OpenCL CPU compilers are immature (MKL is >2×
+// faster).
+// Calibration targets: DGEMM 64 GFlop/s (40%), SGEMM 140 GFlop/s (44%).
+func SandyBridge() *Spec {
+	return &Spec{
+		ID: "sandybridge", CodeName: "Sandy Bridge", Product: "Core i7 3960X",
+		Kind: CPU, ClockGHz: 3.3, BoostFactor: 1.0,
+		ComputeUnits:  6,
+		DPOpsPerClock: 48, SPOpsPerClock: 96,
+		GlobalMemGB: 16, BandwidthGBs: 51.2,
+		L3KB: 15 * 1024, L2KB: 256, L1KB: 32,
+		LocalMemKB: 32, LocalMem: GlobalMem,
+		OpenCLSDK: "Intel SDK 2013 beta", Driver: "",
+
+		Wavefront: 1, MaxWGSize: 1024, MaxWGPerCU: 2, MaxWavesPerCU: 2,
+		RegFileWords: 4096, MaxRegsPerWI: 512,
+
+		BarrierCycles: 800, LDSBytesPerClk: 32, LDSBanks: 1,
+		WavesForOverlap: 1, LaunchOverheadUS: 25,
+
+		CacheReuseEff:      0.97,
+		CoalesceUnitStride: 0.95, CoalesceNonUnit: 0.80,
+		RowMajorEff: 0.85, BankConflictFactor: 0.90, CopyBWFrac: 0.50,
+
+		VecWidthSP: 8, VecWidthDP: 4, MinILP: 2,
+		ComputeEffSP: 0.50, ComputeEffDP: 0.50, SpillPenalty: 0.70,
+		CalibDP: 0.88, CalibSP: 0.93,
+	}
+}
+
+// Bulldozer returns the AMD FX-8150. Bandwidth as for Sandy Bridge is the
+// part's dual-channel DDR3-1866 specification. PLDoubleFails reproduces
+// the paper's note that PL DGEMM kernels always fail to execute here.
+// Calibration targets: DGEMM 37 GFlop/s (32%), SGEMM 87 GFlop/s (38%).
+func Bulldozer() *Spec {
+	return &Spec{
+		ID: "bulldozer", CodeName: "Bulldozer", Product: "FX-8150",
+		Kind: CPU, ClockGHz: 3.6, BoostFactor: 1.0,
+		ComputeUnits:  8,
+		DPOpsPerClock: 32, SPOpsPerClock: 64,
+		GlobalMemGB: 8, BandwidthGBs: 29.9,
+		L3KB: 8 * 1024, L2KB: 2048, L1KB: 64,
+		LocalMemKB: 32, LocalMem: GlobalMem,
+		OpenCLSDK: "AMD APP 2.7", Driver: "",
+
+		Wavefront: 1, MaxWGSize: 1024, MaxWGPerCU: 2, MaxWavesPerCU: 2,
+		RegFileWords: 4096, MaxRegsPerWI: 512,
+
+		BarrierCycles: 1000, LDSBytesPerClk: 16, LDSBanks: 1,
+		WavesForOverlap: 1, LaunchOverheadUS: 30,
+
+		CacheReuseEff:      0.96,
+		CoalesceUnitStride: 0.95, CoalesceNonUnit: 0.78,
+		RowMajorEff: 0.85, BankConflictFactor: 0.90, CopyBWFrac: 0.45,
+
+		VecWidthSP: 4, VecWidthDP: 2, MinILP: 2,
+		ComputeEffSP: 0.44, ComputeEffDP: 0.44, SpillPenalty: 0.70,
+		PLDoubleFails: true,
+		CalibDP:       0.78, CalibSP: 0.93,
+	}
+}
+
+// SandyBridgeSDK2012 returns the Sandy Bridge device as seen through the
+// older Intel OpenCL SDK 2012 (Fig. 11 compares the two: the 2013 beta
+// improves DGEMM by around 20%).
+func SandyBridgeSDK2012() *Spec {
+	s := SandyBridge()
+	s.ID = "sandybridge-sdk2012"
+	s.OpenCLSDK = "Intel SDK 2012"
+	s.ComputeEffSP *= 1.0 / 1.2
+	s.ComputeEffDP *= 1.0 / 1.2
+	return s
+}
+
+// Cypress returns the AMD Radeon HD 5870 used in the paper's §IV-C
+// comparison with Nakasato's IL kernels (our tuned OpenCL DGEMM reaches
+// 495 GFlop/s vs 498 for hand-written IL) and with Du et al.'s OpenCL
+// tuner (308 GFlop/s). Peak DP 544 GFlop/s.
+func Cypress() *Spec {
+	s := Cayman()
+	s.ID = "cypress"
+	s.CodeName = "Cypress"
+	s.Product = "Radeon HD 5870"
+	s.ClockGHz = 0.85
+	s.ComputeUnits = 20
+	s.DPOpsPerClock = 640  // VLIW5: 20 CU * 16 PE * 2 DP flops
+	s.SPOpsPerClock = 3200 // 20 CU * 16 PE * 5 lanes * 2
+	s.GlobalMemGB = 1
+	s.BandwidthGBs = 153.6
+	s.L2KB = 512
+	s.L1KB = 8
+	s.OpenCLSDK = "AMD APP 2.5"
+	s.VecWidthSP = 4 // VLIW5 fills best from float4 + ILP
+	s.VecWidthDP = 2
+	return s
+}

@@ -1,0 +1,199 @@
+// Package device describes the six processors evaluated in the paper
+// (Table I) plus the architectural model fields the performance model
+// needs: wavefront width, register file, LDS bandwidth, barrier cost,
+// coalescing behaviour, cache reuse, and OpenCL-compiler maturity.
+//
+// Table I fields are taken verbatim from the paper; the architectural
+// fields are public specifications of the corresponding silicon
+// (GCN/VLIW4/Kepler/Fermi/Sandy Bridge/Bulldozer) with a small number of
+// calibration constants that are documented next to the paper numbers
+// they target.
+package device
+
+import (
+	"fmt"
+
+	"oclgemm/internal/matrix"
+)
+
+// Kind distinguishes GPUs from CPUs.
+type Kind int
+
+const (
+	// GPU devices have scratchpad local memory and wide SIMD.
+	GPU Kind = iota
+	// CPU devices run OpenCL work-items on cores; local memory is
+	// ordinary cached memory ("Global" type in Table I).
+	CPU
+)
+
+// String returns "GPU" or "CPU".
+func (k Kind) String() string {
+	if k == CPU {
+		return "CPU"
+	}
+	return "GPU"
+}
+
+// LocalMemKind is the OpenCL CL_DEVICE_LOCAL_MEM_TYPE of the device.
+type LocalMemKind int
+
+const (
+	// Scratchpad is dedicated on-chip local memory (GPU LDS/shared).
+	Scratchpad LocalMemKind = iota
+	// GlobalMem means local memory is emulated in cached global memory
+	// (the CPU devices in Table I).
+	GlobalMem
+)
+
+// String returns the Table I wording.
+func (l LocalMemKind) String() string {
+	if l == GlobalMem {
+		return "Global"
+	}
+	return "Scratchpad"
+}
+
+// Spec is a full device description.
+type Spec struct {
+	// Identity (Table I).
+	ID       string // short stable identifier, e.g. "tahiti"
+	CodeName string // "Tahiti"
+	Product  string // "Radeon HD 7970"
+	Kind     Kind
+	ClockGHz float64
+	// BoostFactor is the effective sustained clock multiplier relative
+	// to ClockGHz. The Kepler GTX 670 OC in the paper boosts above its
+	// listed base clock, which is why its DGEMM efficiency exceeds 100%.
+	BoostFactor   float64
+	ComputeUnits  int
+	DPOpsPerClock int // chip-wide double-precision flops per clock
+	SPOpsPerClock int // chip-wide single-precision flops per clock
+	GlobalMemGB   float64
+	BandwidthGBs  float64
+	L3KB          int // 0 when absent
+	L2KB          int
+	L1KB          int
+	LocalMemKB    int
+	LocalMem      LocalMemKind
+	OpenCLSDK     string
+	Driver        string
+
+	// Execution geometry.
+	Wavefront     int // work-items issued in lockstep (1 on CPUs)
+	MaxWGSize     int // CL_DEVICE_MAX_WORK_GROUP_SIZE
+	MaxWGPerCU    int
+	MaxWavesPerCU int
+	RegFileWords  int // 32-bit register words per compute unit
+	MaxRegsPerWI  int // hard per-work-item register ceiling (words)
+
+	// Timing model constants.
+	BarrierCycles    float64 // cost of one work-group barrier, cycles
+	LDSBytesPerClk   float64 // local-memory bytes/clock per CU
+	LDSBanks         int
+	WavesForOverlap  float64 // waves/CU needed to hide memory latency
+	LaunchOverheadUS float64
+
+	// Global-memory behaviour.
+	CacheReuseEff      float64 // fraction of redundant non-LDS loads served by cache
+	CoalesceUnitStride float64 // efficiency of unit-stride work-item access
+	CoalesceNonUnit    float64 // efficiency of interleaved (non-unit) access
+	RowMajorEff        float64 // efficiency of row-major (non-block-major) streams
+	BankConflictFactor float64 // extra slowdown for row-major at power-of-two strides
+	CopyBWFrac         float64 // fraction of BandwidthGBs achieved by layout-copy kernels
+
+	// Compute behaviour.
+	VecWidthSP int     // native vector ALU lanes per work-item issue (SP)
+	VecWidthDP int     // same for DP
+	MinILP     float64 // independent FMAs per work-item needed to fill pipelines
+	// ComputeEffSP/DP are the OpenCL-compiler maturity ceilings on ALU
+	// utilisation per precision (the best kernel the paper's search
+	// finds tops out here).
+	ComputeEffSP float64
+	ComputeEffDP float64
+	SpillPenalty float64 // throughput factor once registers spill
+
+	// Quirks.
+	// PLDoubleFails reproduces the paper's note that DGEMM kernels using
+	// the PL algorithm always fail to execute on the Bulldozer.
+	PLDoubleFails bool
+
+	// CalibDP/CalibSP are the final per-precision calibration scalars
+	// that pin the modeled best-kernel GFlop/s to the paper's Table II.
+	// All ordering/shape effects come from the mechanisms above; these
+	// only set the absolute level.
+	CalibDP, CalibSP float64
+}
+
+// PeakGFlops returns the Table I peak for the precision.
+func (s *Spec) PeakGFlops(p matrix.Precision) float64 {
+	if p == matrix.Double {
+		return s.ClockGHz * float64(s.DPOpsPerClock)
+	}
+	return s.ClockGHz * float64(s.SPOpsPerClock)
+}
+
+// OpsPerClock returns chip-wide flops/clock for the precision.
+func (s *Spec) OpsPerClock(p matrix.Precision) int {
+	if p == matrix.Double {
+		return s.DPOpsPerClock
+	}
+	return s.SPOpsPerClock
+}
+
+// VecWidth returns the native per-work-item vector width for the precision.
+func (s *Spec) VecWidth(p matrix.Precision) int {
+	if p == matrix.Double {
+		return s.VecWidthDP
+	}
+	return s.VecWidthSP
+}
+
+// Calib returns the calibration scalar for the precision.
+func (s *Spec) Calib(p matrix.Precision) float64 {
+	if p == matrix.Double {
+		return s.CalibDP
+	}
+	return s.CalibSP
+}
+
+// ComputeEff returns the ALU utilisation ceiling for the precision.
+func (s *Spec) ComputeEff(p matrix.Precision) float64 {
+	if p == matrix.Double {
+		return s.ComputeEffDP
+	}
+	return s.ComputeEffSP
+}
+
+// LocalMemBytes returns the per-CU local memory capacity in bytes.
+func (s *Spec) LocalMemBytes() int { return s.LocalMemKB * 1024 }
+
+// String returns "CodeName (Product)".
+func (s *Spec) String() string { return fmt.Sprintf("%s (%s)", s.CodeName, s.Product) }
+
+// ByID returns the device with the given ID from All.
+func ByID(id string) (*Spec, error) {
+	for _, d := range All() {
+		if d.ID == id {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("device: unknown device %q", id)
+}
+
+// IDs returns the identifiers of all catalogued devices in Table I order.
+func IDs() []string {
+	all := All()
+	ids := make([]string, len(all))
+	for i, d := range all {
+		ids[i] = d.ID
+	}
+	return ids
+}
+
+// All returns the six devices of Table I, in the paper's column order.
+// Fresh copies are returned so callers may mutate specs (e.g. the SDK
+// variants used by Fig. 11) without affecting the catalog.
+func All() []*Spec {
+	return []*Spec{Tahiti(), Cayman(), Kepler(), Fermi(), SandyBridge(), Bulldozer()}
+}

@@ -1,0 +1,164 @@
+package device
+
+import (
+	"testing"
+
+	"oclgemm/internal/matrix"
+)
+
+// Table I peak performance values the specs must reproduce.
+func TestPeakMatchesTableI(t *testing.T) {
+	cases := []struct {
+		id       string
+		dp, sp   float64
+		cus      int
+		localKB  int
+		localMem LocalMemKind
+	}{
+		{"tahiti", 947, 3789, 32, 64, Scratchpad},
+		{"cayman", 676, 2703, 24, 32, Scratchpad},
+		{"kepler", 122, 2916, 7, 48, Scratchpad},
+		{"fermi", 665, 1331, 16, 48, Scratchpad},
+		{"sandybridge", 158.4, 316.8, 6, 32, GlobalMem},
+		{"bulldozer", 115.2, 230.4, 8, 32, GlobalMem},
+	}
+	for _, c := range cases {
+		d, err := ByID(c.id)
+		if err != nil {
+			t.Fatalf("ByID(%q): %v", c.id, err)
+		}
+		if got := d.PeakGFlops(matrix.Double); got < c.dp*0.99 || got > c.dp*1.01 {
+			t.Errorf("%s DP peak = %.1f, Table I says %.1f", c.id, got, c.dp)
+		}
+		if got := d.PeakGFlops(matrix.Single); got < c.sp*0.99 || got > c.sp*1.01 {
+			t.Errorf("%s SP peak = %.1f, Table I says %.1f", c.id, got, c.sp)
+		}
+		if d.ComputeUnits != c.cus {
+			t.Errorf("%s CUs = %d, want %d", c.id, d.ComputeUnits, c.cus)
+		}
+		if d.LocalMemKB != c.localKB || d.LocalMem != c.localMem {
+			t.Errorf("%s local mem = %d KB %v, want %d KB %v",
+				c.id, d.LocalMemKB, d.LocalMem, c.localKB, c.localMem)
+		}
+	}
+}
+
+func TestAllOrderAndFreshCopies(t *testing.T) {
+	all := All()
+	wantOrder := []string{"tahiti", "cayman", "kepler", "fermi", "sandybridge", "bulldozer"}
+	if len(all) != len(wantOrder) {
+		t.Fatalf("All() returned %d devices, want %d", len(all), len(wantOrder))
+	}
+	for i, d := range all {
+		if d.ID != wantOrder[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, d.ID, wantOrder[i])
+		}
+	}
+	// Mutating a returned spec must not affect the catalog.
+	all[0].ClockGHz = 99
+	if Tahiti().ClockGHz == 99 {
+		t.Error("All() must return fresh copies")
+	}
+	ids := IDs()
+	for i := range wantOrder {
+		if ids[i] != wantOrder[i] {
+			t.Errorf("IDs()[%d] = %s, want %s", i, ids[i], wantOrder[i])
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("nonexistent"); err == nil {
+		t.Error("ByID should fail for unknown device")
+	}
+}
+
+func TestKindAndLocalMemStrings(t *testing.T) {
+	if GPU.String() != "GPU" || CPU.String() != "CPU" {
+		t.Error("Kind strings wrong")
+	}
+	if Scratchpad.String() != "Scratchpad" || GlobalMem.String() != "Global" {
+		t.Error("LocalMemKind strings wrong")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	d := Tahiti()
+	if d.OpsPerClock(matrix.Double) != 1024 || d.OpsPerClock(matrix.Single) != 4096 {
+		t.Error("OpsPerClock wrong")
+	}
+	if d.LocalMemBytes() != 64*1024 {
+		t.Error("LocalMemBytes wrong")
+	}
+	if d.String() != "Tahiti (Radeon HD 7970)" {
+		t.Errorf("String() = %q", d.String())
+	}
+	snb := SandyBridge()
+	if snb.VecWidth(matrix.Single) != 8 || snb.VecWidth(matrix.Double) != 4 {
+		t.Error("SNB vector widths should be AVX 8/4")
+	}
+	if snb.Calib(matrix.Double) != snb.CalibDP {
+		t.Error("Calib accessor wrong")
+	}
+}
+
+func TestSDK2012Variant(t *testing.T) {
+	newer := SandyBridge()
+	older := SandyBridgeSDK2012()
+	if older.ComputeEffDP >= newer.ComputeEffDP || older.ComputeEffSP >= newer.ComputeEffSP {
+		t.Error("SDK 2012 must be slower than 2013 beta")
+	}
+	ratio := newer.ComputeEffDP / older.ComputeEffDP
+	if ratio < 1.15 || ratio > 1.25 {
+		t.Errorf("SDK improvement ratio = %.2f, paper says around 20%%", ratio)
+	}
+}
+
+func TestBulldozerQuirk(t *testing.T) {
+	if !Bulldozer().PLDoubleFails {
+		t.Error("Bulldozer must carry the PL-DGEMM failure quirk")
+	}
+	for _, d := range All() {
+		if d.ID != "bulldozer" && d.PLDoubleFails {
+			t.Errorf("%s should not have PLDoubleFails", d.ID)
+		}
+	}
+}
+
+func TestCypress(t *testing.T) {
+	c := Cypress()
+	peak := c.PeakGFlops(matrix.Double)
+	if peak < 500 || peak > 600 {
+		t.Errorf("Cypress DP peak = %.0f, want 544", peak)
+	}
+}
+
+// Sanity bounds every catalogued device must satisfy (the perf model
+// divides by several of these).
+func TestSpecSanity(t *testing.T) {
+	devs := All()
+	devs = append(devs, SandyBridgeSDK2012(), Cypress())
+	for _, d := range devs {
+		if d.ClockGHz <= 0 || d.ComputeUnits <= 0 || d.BandwidthGBs <= 0 {
+			t.Errorf("%s: non-positive basic rates", d.ID)
+		}
+		if d.Wavefront <= 0 || d.MaxWGSize <= 0 || d.MaxWGPerCU <= 0 {
+			t.Errorf("%s: bad geometry", d.ID)
+		}
+		if d.ComputeEffSP <= 0 || d.ComputeEffSP > 1 || d.ComputeEffDP <= 0 || d.ComputeEffDP > 1 {
+			t.Errorf("%s: compute efficiencies out of (0,1]: SP=%f DP=%f", d.ID, d.ComputeEffSP, d.ComputeEffDP)
+		}
+		if d.CacheReuseEff < 0 || d.CacheReuseEff > 1 {
+			t.Errorf("%s: CacheReuseEff out of range", d.ID)
+		}
+		if d.BoostFactor < 1 {
+			t.Errorf("%s: BoostFactor < 1", d.ID)
+		}
+		if d.CalibDP <= 0 || d.CalibSP <= 0 {
+			t.Errorf("%s: calibration scalars must be positive", d.ID)
+		}
+		if d.Kind == CPU && d.LocalMem != GlobalMem {
+			t.Errorf("%s: CPUs have Global local memory in Table I", d.ID)
+		}
+	}
+}

@@ -1,0 +1,431 @@
+package experiments
+
+import (
+	"fmt"
+
+	"oclgemm/internal/blas"
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/core"
+	"oclgemm/internal/device"
+	"oclgemm/internal/gemmimpl"
+	"oclgemm/internal/matrix"
+	"oclgemm/internal/vendorlib"
+)
+
+// mainDevices is Table I's column order.
+var mainDevices = []string{"tahiti", "cayman", "kepler", "fermi", "sandybridge", "bulldozer"}
+
+// Precisions in the paper's DGEMM-first order.
+var precisions = []matrix.Precision{matrix.Double, matrix.Single}
+
+// Table1 reproduces Table I (processor specifications).
+func (s *Session) Table1() *Table {
+	devs := device.All()
+	t := &Table{Title: "Table I: Processor specification", Columns: []string{"Row"}}
+	for _, d := range devs {
+		t.Columns = append(t.Columns, d.CodeName)
+	}
+	row := func(name string, f func(d *device.Spec) string) {
+		cells := []string{name}
+		for _, d := range devs {
+			cells = append(cells, f(d))
+		}
+		t.AddRow(cells...)
+	}
+	row("Product name", func(d *device.Spec) string { return d.Product })
+	row("Core clock speed [GHz]", func(d *device.Spec) string { return fmt.Sprintf("%.3g", d.ClockGHz) })
+	row("Number of compute units", func(d *device.Spec) string { return fmt.Sprintf("%d", d.ComputeUnits) })
+	row("Max DP operations / clock", func(d *device.Spec) string { return fmt.Sprintf("%d", d.DPOpsPerClock) })
+	row("Max SP operations / clock", func(d *device.Spec) string { return fmt.Sprintf("%d", d.SPOpsPerClock) })
+	row("Peak DP performance [GFlop/s]", func(d *device.Spec) string { return trimFloat(d.PeakGFlops(matrix.Double)) })
+	row("Peak SP performance [GFlop/s]", func(d *device.Spec) string { return trimFloat(d.PeakGFlops(matrix.Single)) })
+	row("Global memory size [GB]", func(d *device.Spec) string { return fmt.Sprintf("%g", d.GlobalMemGB) })
+	row("Peak memory bandwidth [GB/s]", func(d *device.Spec) string { return fmt.Sprintf("%g", d.BandwidthGBs) })
+	row("L3 cache size [MB]", func(d *device.Spec) string {
+		if d.L3KB == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", d.L3KB/1024)
+	})
+	row("L2 cache size [kB]", func(d *device.Spec) string { return fmt.Sprintf("%d", d.L2KB) })
+	row("L1 cache size [kB]", func(d *device.Spec) string { return fmt.Sprintf("%d", d.L1KB) })
+	row("Local memory size [kB]", func(d *device.Spec) string { return fmt.Sprintf("%d", d.LocalMemKB) })
+	row("Local memory type", func(d *device.Spec) string { return d.LocalMem.String() })
+	row("OpenCL SDK", func(d *device.Spec) string { return d.OpenCLSDK })
+	return t
+}
+
+// trimFloat renders near-integers without a decimal part (Table I
+// prints 3789 but 158.4).
+func trimFloat(v float64) string {
+	r := fmt.Sprintf("%.1f", v)
+	if len(r) > 2 && r[len(r)-2:] == ".0" {
+		return r[:len(r)-2]
+	}
+	return r
+}
+
+func strideString(p codegen.Params) string {
+	out := ""
+	if p.StrideM {
+		out += "M"
+	}
+	if p.StrideN {
+		if out != "" {
+			out += ","
+		}
+		out += "N"
+	}
+	if out == "" {
+		return "-"
+	}
+	return out
+}
+
+func sharedString(p codegen.Params) string {
+	out := ""
+	if p.SharedA {
+		out += "A"
+	}
+	if p.SharedB {
+		if out != "" {
+			out += ","
+		}
+		out += "B"
+	}
+	if out == "" {
+		return "-"
+	}
+	return out
+}
+
+// Table2 reproduces Table II: the parameters of the fastest
+// C ← α·AᵀB + β·C kernel per device and precision, with the maximum
+// performance and efficiency.
+func (s *Session) Table2() (*Table, error) {
+	t := &Table{
+		Title:   "Table II: Parameters for the fastest ATB kernels and maximum performance",
+		Columns: []string{"Precision", "Parameter"},
+	}
+	for _, id := range mainDevices {
+		d, _ := device.ByID(id)
+		t.Columns = append(t.Columns, d.CodeName)
+	}
+	for _, prec := range precisions {
+		sels := make([]*core.Selection, len(mainDevices))
+		for i, id := range mainDevices {
+			sel, err := s.Selection(id, prec, Full)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", id, prec, err)
+			}
+			sels[i] = sel
+		}
+		row := func(name string, f func(sel *core.Selection) string) {
+			cells := []string{prec.GEMMName(), name}
+			for _, sel := range sels {
+				cells = append(cells, f(sel))
+			}
+			t.AddRow(cells...)
+		}
+		row("Mwg,Nwg,Kwg", func(sel *core.Selection) string {
+			p := sel.Best.Params
+			return fmt.Sprintf("%d,%d,%d", p.Mwg, p.Nwg, p.Kwg)
+		})
+		row("Mwi,Nwi,Kwi", func(sel *core.Selection) string {
+			p := sel.Best.Params
+			return fmt.Sprintf("%d,%d,%d", p.Mwi(), p.Nwi(), p.Kwi)
+		})
+		row("MdimC,NdimC", func(sel *core.Selection) string {
+			p := sel.Best.Params
+			return fmt.Sprintf("%d,%d", p.MdimC, p.NdimC)
+		})
+		row("MdimA,KdimA", func(sel *core.Selection) string {
+			p := sel.Best.Params
+			if !p.SharedA {
+				return "-"
+			}
+			return fmt.Sprintf("%d,%d", p.MdimA, p.KdimA())
+		})
+		row("KdimB,NdimB", func(sel *core.Selection) string {
+			p := sel.Best.Params
+			if !p.SharedB {
+				return "-"
+			}
+			return fmt.Sprintf("%d,%d", p.KdimB(), p.NdimB)
+		})
+		row("Vector", func(sel *core.Selection) string {
+			return fmt.Sprintf("%d", sel.Best.Params.VectorWidth)
+		})
+		row("Stride", func(sel *core.Selection) string { return strideString(sel.Best.Params) })
+		row("Shared", func(sel *core.Selection) string { return sharedString(sel.Best.Params) })
+		row("Layout", func(sel *core.Selection) string {
+			p := sel.Best.Params
+			return fmt.Sprintf("%s,%s", p.LayoutA, p.LayoutB)
+		})
+		row("Algorithm", func(sel *core.Selection) string { return sel.Best.Params.Algorithm.String() })
+		row("GFlop/s", func(sel *core.Selection) string { return fmt.Sprintf("%.0f", sel.Best.Best) })
+		cells := []string{prec.GEMMName(), "Efficiency"}
+		for i, id := range mainDevices {
+			d, _ := device.ByID(id)
+			cells = append(cells, fmt.Sprintf("%.0f%%", 100*sels[i].Best.Best/d.PeakGFlops(prec)))
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// implBest returns the full-GEMM (copy-inclusive) maximum performance
+// for the tuned kernel on the device.
+func (s *Session) implBest(devID string, prec matrix.Precision) (float64, *gemmimpl.Impl, error) {
+	sel, err := s.Selection(devID, prec, Full)
+	if err != nil {
+		return 0, nil, err
+	}
+	d, err := Device(devID)
+	if err != nil {
+		return 0, nil, err
+	}
+	im, err := gemmimpl.New(d, sel.Best.Params)
+	if err != nil {
+		return 0, nil, err
+	}
+	maxSize := s.cfg.MaxSize
+	if maxSize <= 0 {
+		maxSize = 8192
+	}
+	best := 0.0
+	for _, n := range core.Sizes(sel.Best.Params.LCM(), maxSize) {
+		gf, err := im.GFlops(n, n, n)
+		if err != nil {
+			continue
+		}
+		if gf > best {
+			best = gf
+		}
+	}
+	return best, im, nil
+}
+
+// Table3 reproduces Table III: maximum GFlop/s of the full GEMM
+// implementations (all four types, column-major data) against the
+// vendor libraries.
+func (s *Session) Table3() (*Table, error) {
+	t := &Table{
+		Title: "Table III: Maximum performance [GFlop/s] of our GEMM implementations and vendor libraries (column-major)",
+		Columns: []string{"Processor", "Impl",
+			"DGEMM NN", "DGEMM NT", "DGEMM TN", "DGEMM TT",
+			"SGEMM NN", "SGEMM NT", "SGEMM TN", "SGEMM TT"},
+	}
+	for _, id := range mainDevices {
+		d, _ := device.ByID(id)
+		ours := []string{d.CodeName, "Ours"}
+		for _, prec := range precisions {
+			best, _, err := s.implBest(id, prec)
+			if err != nil {
+				return nil, err
+			}
+			// The copy-based implementation is type-independent
+			// (§IV-B): the copy pass absorbs the transpositions.
+			for range blas.GEMMTypes {
+				ours = append(ours, fmt.Sprintf("%.0f", best))
+			}
+		}
+		t.AddRow(ours...)
+
+		v, err := vendorlib.Vendor(id)
+		if err != nil {
+			return nil, err
+		}
+		vend := []string{d.CodeName, "Vendor"}
+		for _, tp := range []vendorlib.TypePerf{v.DP, v.SP} {
+			for i := range blas.GEMMTypes {
+				vend = append(vend, fmt.Sprintf("%.0f", tp[i]))
+			}
+		}
+		t.AddRow(vend...)
+	}
+	return t, nil
+}
+
+// figSizes filters a kernel's stage-2 sizes to the figure's x range.
+func figSizes(lcm, maxN int) []int {
+	var out []int
+	for _, n := range core.Sizes(lcm, maxN) {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Fig7 reproduces Fig. 7: performance of the fastest kernels as a
+// function of problem size, one line per processor.
+func (s *Session) Fig7(prec matrix.Precision) (*Series, error) {
+	fig := &Series{
+		Title:  fmt.Sprintf("Fig. 7: %s kernel performance vs matrix size", prec.GEMMName()),
+		XLabel: "N", YLabel: "GFlop/s",
+	}
+	for _, id := range mainDevices {
+		sel, err := s.Selection(id, prec, Full)
+		if err != nil {
+			return nil, err
+		}
+		d, _ := device.ByID(id)
+		var xs []int
+		var ys []float64
+		for _, pt := range sel.Best.Curve {
+			if pt.N > 6144 {
+				continue
+			}
+			xs = append(xs, pt.N)
+			ys = append(ys, pt.GFlops)
+		}
+		fig.Lines = append(fig.Lines, Line{Name: d.CodeName, X: xs, Y: ys})
+	}
+	return fig, nil
+}
+
+// Fig8 reproduces Fig. 8: relative performance of the three GEMM
+// algorithms per processor, against the device's overall best.
+func (s *Session) Fig8() (*Table, error) {
+	t := &Table{
+		Title: "Fig. 8: Relative performance of the GEMM algorithms (vs Table II maximum)",
+		Columns: []string{"Processor",
+			"BA (DGEMM)", "PL (DGEMM)", "DB (DGEMM)",
+			"BA (SGEMM)", "PL (SGEMM)", "DB (SGEMM)"},
+	}
+	variants := []Variant{OnlyBA, OnlyPL, OnlyDB}
+	for _, id := range mainDevices {
+		d, _ := device.ByID(id)
+		cells := []string{d.CodeName}
+		for _, prec := range precisions {
+			full, err := s.Selection(id, prec, Full)
+			if err != nil {
+				return nil, err
+			}
+			denom := full.Best.Best
+			bests := make([]float64, len(variants))
+			for i, v := range variants {
+				sel, err := s.Selection(id, prec, v)
+				if err != nil {
+					// PL DGEMM on the Bulldozer yields no valid
+					// kernels at all: the paper plots it as absent.
+					bests[i] = 0
+					continue
+				}
+				bests[i] = sel.Best.Best
+				if bests[i] > denom {
+					denom = bests[i]
+				}
+			}
+			for _, b := range bests {
+				if b == 0 {
+					cells = append(cells, "fail")
+				} else {
+					cells = append(cells, fmt.Sprintf("%.2f", b/denom))
+				}
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// Fig9 reproduces Fig. 9: full-GEMM performance on the Tahiti against
+// AMD clBLAS and the authors' previous study.
+func (s *Session) Fig9(prec matrix.Precision) (*Series, error) {
+	fig := &Series{
+		Title:  fmt.Sprintf("Fig. 9: %s C<-aAB+bC implementations on the Tahiti GPU", prec.GEMMName()),
+		XLabel: "N", YLabel: "GFlop/s",
+	}
+	_, im, err := s.implBest("tahiti", prec)
+	if err != nil {
+		return nil, err
+	}
+	sizes := figSizes(im.Params.LCM(), 6144)
+	var ys []float64
+	for _, n := range sizes {
+		gf, err := im.GFlops(n, n, n)
+		if err != nil {
+			return nil, err
+		}
+		ys = append(ys, gf)
+	}
+	fig.Lines = append(fig.Lines, Line{Name: "This study", X: sizes, Y: ys})
+
+	nn := blas.GEMMTypes[0]
+	for _, name := range []string{"AMD clBLAS 1.8.291", "Our previous study (MCSoC-12)"} {
+		b, err := vendorlib.Lookup(name, "tahiti")
+		if err != nil {
+			return nil, err
+		}
+		fig.Lines = append(fig.Lines, Line{Name: name, X: sizes, Y: b.Curve(prec, nn, sizes)})
+	}
+	return fig, nil
+}
+
+// Fig10 reproduces Fig. 10: full-GEMM performance on the Fermi and
+// Kepler against CUBLAS and MAGMA.
+func (s *Session) Fig10(prec matrix.Precision) (*Series, error) {
+	fig := &Series{
+		Title:  fmt.Sprintf("Fig. 10: %s C<-aAB+bC implementations on the Fermi and Kepler GPUs", prec.GEMMName()),
+		XLabel: "N", YLabel: "GFlop/s",
+	}
+	nn := blas.GEMMTypes[0]
+	for _, devID := range []string{"fermi", "kepler"} {
+		_, im, err := s.implBest(devID, prec)
+		if err != nil {
+			return nil, err
+		}
+		d, _ := device.ByID(devID)
+		sizes := figSizes(im.Params.LCM(), 6144)
+		var ys []float64
+		for _, n := range sizes {
+			gf, err := im.GFlops(n, n, n)
+			if err != nil {
+				return nil, err
+			}
+			ys = append(ys, gf)
+		}
+		fig.Lines = append(fig.Lines, Line{Name: "This study (" + d.CodeName + ")", X: sizes, Y: ys})
+		for _, b := range vendorlib.ForDevice(devID) {
+			fig.Lines = append(fig.Lines, Line{Name: b.Name + " (" + d.CodeName + ")", X: sizes, Y: b.Curve(prec, nn, sizes)})
+		}
+	}
+	return fig, nil
+}
+
+// Fig11 reproduces Fig. 11: DGEMM implementations on the Sandy Bridge —
+// ours under the Intel SDK 2013 beta and SDK 2012, against Intel MKL
+// and ATLAS.
+func (s *Session) Fig11() (*Series, error) {
+	fig := &Series{
+		Title:  "Fig. 11: DGEMM C<-aAB+bC implementations on the Sandy Bridge CPU",
+		XLabel: "N", YLabel: "GFlop/s",
+	}
+	nn := blas.GEMMTypes[0]
+	for _, b := range []string{"Intel MKL 2011.10.319", "ATLAS 3.10.0"} {
+		base, err := vendorlib.Lookup(b, "sandybridge")
+		if err != nil {
+			return nil, err
+		}
+		sizes := figSizes(256, 5120)
+		fig.Lines = append(fig.Lines, Line{Name: b, X: sizes, Y: base.Curve(matrix.Double, nn, sizes)})
+	}
+	for _, devID := range []string{"sandybridge", "sandybridge-sdk2012"} {
+		_, im, err := s.implBest(devID, matrix.Double)
+		if err != nil {
+			return nil, err
+		}
+		d, _ := Device(devID)
+		sizes := figSizes(im.Params.LCM(), 5120)
+		var ys []float64
+		for _, n := range sizes {
+			gf, err := im.GFlops(n, n, n)
+			if err != nil {
+				return nil, err
+			}
+			ys = append(ys, gf)
+		}
+		fig.Lines = append(fig.Lines, Line{Name: "This study (" + d.OpenCLSDK + ")", X: sizes, Y: ys})
+	}
+	return fig, nil
+}

@@ -1,0 +1,479 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"oclgemm/internal/matrix"
+)
+
+// One shared session across the package's tests: experiments share
+// tuning runs exactly as the harness does.
+var (
+	sessOnce sync.Once
+	sess     *Session
+)
+
+func session(t *testing.T) *Session {
+	t.Helper()
+	sessOnce.Do(func() {
+		sess = NewSession(Config{MaxCandidates: 4000, MaxSize: 6144})
+	})
+	return sess
+}
+
+func cell(t *testing.T, tb *Table, rowKey func([]string) bool, col string) string {
+	t.Helper()
+	ci := -1
+	for i, c := range tb.Columns {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		t.Fatalf("no column %q in %v", col, tb.Columns)
+	}
+	for _, r := range tb.Rows {
+		if rowKey(r) {
+			return r[ci]
+		}
+	}
+	t.Fatalf("no matching row for column %q", col)
+	return ""
+}
+
+func num(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("not a number: %q", s)
+	}
+	return v
+}
+
+func TestTable1(t *testing.T) {
+	tb := session(t).Table1()
+	if len(tb.Columns) != 7 {
+		t.Fatalf("Table I needs 6 device columns, got %v", tb.Columns)
+	}
+	out := tb.Render()
+	for _, frag := range []string{"Tahiti", "Bulldozer", "947.2", "3788.8", "158.4", "Scratchpad", "Global"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table I missing %q", frag)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	tb, err := session(t).Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 parameter rows per precision block.
+	if len(tb.Rows) != 24 {
+		t.Fatalf("Table II rows = %d, want 24", len(tb.Rows))
+	}
+	// Efficiencies must be in the plausible band on every device.
+	for _, r := range tb.Rows {
+		if r[1] != "Efficiency" {
+			continue
+		}
+		for _, c := range r[2:] {
+			v := num(t, c)
+			if v < 20 || v > 112 {
+				t.Errorf("efficiency %s%% out of range in row %v", c, r)
+			}
+		}
+	}
+	out := tb.Render()
+	for _, frag := range []string{"Mwg,Nwg,Kwg", "Algorithm", "GFlop/s"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table II missing %q", frag)
+		}
+	}
+}
+
+func TestTable3HeadlineComparisons(t *testing.T) {
+	tb, err := session(t).Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(dev, impl, col string) float64 {
+		return num(t, cell(t, tb, func(r []string) bool { return r[0] == dev && r[1] == impl }, col))
+	}
+	// Headline shape (paper abstract): our implementations beat the
+	// vendor library on the AMD GPUs...
+	for _, dev := range []string{"Tahiti", "Cayman"} {
+		for _, col := range []string{"DGEMM NN", "SGEMM NN", "DGEMM TN", "SGEMM TN"} {
+			if get(dev, "Ours", col) <= get(dev, "Vendor", col) {
+				t.Errorf("%s %s: ours (%.0f) must beat clBLAS (%.0f)",
+					dev, col, get(dev, "Ours", col), get(dev, "Vendor", col))
+			}
+		}
+	}
+	// ...are comparable on the NVIDIA GPUs...
+	for _, dev := range []string{"Kepler", "Fermi"} {
+		ratio := get(dev, "Ours", "DGEMM NN") / get(dev, "Vendor", "DGEMM NN")
+		if ratio < 0.75 || ratio > 1.45 {
+			t.Errorf("%s DGEMM: ours/vendor = %.2f, want comparable", dev, ratio)
+		}
+	}
+	// ...and lose clearly to the vendor libraries on the CPUs.
+	for _, dev := range []string{"Sandy Bridge", "Bulldozer"} {
+		if get(dev, "Ours", "DGEMM NN") >= get(dev, "Vendor", "DGEMM NN") {
+			t.Errorf("%s: ours must stay below the CPU vendor library", dev)
+		}
+	}
+}
+
+func TestFig7(t *testing.T) {
+	for _, prec := range precisions {
+		fig, err := session(t).Fig7(prec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fig.Lines) != 6 {
+			t.Fatalf("Fig 7 needs 6 lines, got %d", len(fig.Lines))
+		}
+		for _, l := range fig.Lines {
+			if len(l.X) < 4 {
+				t.Errorf("%s: too few points (%d)", l.Name, len(l.X))
+				continue
+			}
+			if l.Y[0] >= l.Y[len(l.Y)-1] {
+				t.Errorf("%s: curve must ramp up (%.0f .. %.0f)", l.Name, l.Y[0], l.Y[len(l.Y)-1])
+			}
+			if l.X[len(l.X)-1] > 6144 {
+				t.Errorf("%s: Fig 7 x range exceeds 6144", l.Name)
+			}
+		}
+		// Tahiti must be the fastest device at large N (paper Fig. 7).
+		best := ""
+		var bestY float64
+		for _, l := range fig.Lines {
+			if y := l.Y[len(l.Y)-1]; y > bestY {
+				bestY, best = y, l.Name
+			}
+		}
+		if best != "Tahiti" {
+			t.Errorf("%s: fastest device should be Tahiti, got %s", prec.GEMMName(), best)
+		}
+	}
+}
+
+func TestFig8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("36 tuning runs")
+	}
+	tb, err := session(t).Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("Fig 8 needs 6 device rows")
+	}
+	for _, r := range tb.Rows {
+		for i, c := range r[1:] {
+			if c == "fail" {
+				// Only PL (DGEMM) on the Bulldozer may fail.
+				if r[0] != "Bulldozer" || tb.Columns[i+1] != "PL (DGEMM)" {
+					t.Errorf("unexpected failure at %s / %s", r[0], tb.Columns[i+1])
+				}
+				continue
+			}
+			v := num(t, c)
+			if v <= 0 || v > 1.0001 {
+				t.Errorf("relative performance %v out of (0,1] at %s / %s", v, r[0], tb.Columns[i+1])
+			}
+		}
+	}
+	// Bulldozer PL DGEMM must fail (paper §IV-A).
+	if got := cell(t, tb, func(r []string) bool { return r[0] == "Bulldozer" }, "PL (DGEMM)"); got != "fail" {
+		t.Errorf("Bulldozer PL DGEMM = %q, want fail", got)
+	}
+	// CPU variation is relatively small (paper): every non-failing CPU
+	// algorithm reaches at least half of the best.
+	for _, dev := range []string{"Sandy Bridge", "Bulldozer"} {
+		for i, col := range tb.Columns[1:] {
+			c := cell(t, tb, func(r []string) bool { return r[0] == dev }, tb.Columns[i+1])
+			if c == "fail" {
+				continue
+			}
+			if v := num(t, c); v < 0.5 {
+				t.Errorf("%s %s: CPU algorithm variation too large (%.2f)", dev, col, v)
+			}
+		}
+	}
+}
+
+func TestFig9(t *testing.T) {
+	for _, prec := range precisions {
+		fig, err := session(t).Fig9(prec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fig.Lines) != 3 {
+			t.Fatalf("Fig 9 needs 3 lines, got %d", len(fig.Lines))
+		}
+		ours, clblas, prev := fig.Lines[0], fig.Lines[1], fig.Lines[2]
+		lastY := func(l Line) float64 { return l.Y[len(l.Y)-1] }
+		if lastY(ours) <= lastY(clblas) {
+			t.Errorf("%s: this study (%.0f) must beat clBLAS (%.0f) at large N",
+				prec.GEMMName(), lastY(ours), lastY(clblas))
+		}
+		if lastY(ours) <= lastY(prev)*0.98 {
+			t.Errorf("%s: this study (%.0f) must not lose to the previous study (%.0f)",
+				prec.GEMMName(), lastY(ours), lastY(prev))
+		}
+		// Small sizes: copying makes our implementation slow (paper).
+		if ours.Y[0] > 0.6*lastY(ours) {
+			t.Errorf("%s: our implementation should ramp slowly (copy overhead): %.0f vs %.0f",
+				prec.GEMMName(), ours.Y[0], lastY(ours))
+		}
+	}
+}
+
+func TestFig10(t *testing.T) {
+	fig, err := session(t).Fig10(matrix.Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Lines) != 5 { // ours×2, CUBLAS×2, MAGMA
+		t.Fatalf("Fig 10 needs 5 lines, got %d", len(fig.Lines))
+	}
+	var oursFermi, cublasFermi float64
+	for _, l := range fig.Lines {
+		switch {
+		case strings.HasPrefix(l.Name, "This study (Fermi"):
+			oursFermi = l.Y[len(l.Y)-1]
+		case strings.HasPrefix(l.Name, "NVIDIA CUBLAS 4.1.28"):
+			cublasFermi = l.Y[len(l.Y)-1]
+		}
+	}
+	if oursFermi == 0 || cublasFermi == 0 {
+		t.Fatal("missing Fermi lines")
+	}
+	if r := oursFermi / cublasFermi; r < 0.7 || r > 1.4 {
+		t.Errorf("Fermi SGEMM ours/CUBLAS = %.2f, paper says comparable", r)
+	}
+}
+
+func TestFig11(t *testing.T) {
+	fig, err := session(t).Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Lines) != 4 {
+		t.Fatalf("Fig 11 needs 4 lines, got %d", len(fig.Lines))
+	}
+	last := map[string]float64{}
+	for _, l := range fig.Lines {
+		last[l.Name] = l.Y[len(l.Y)-1]
+	}
+	mkl := last["Intel MKL 2011.10.319"]
+	atlas := last["ATLAS 3.10.0"]
+	ours13 := last["This study (Intel SDK 2013 beta)"]
+	ours12 := last["This study (Intel SDK 2012)"]
+	if !(mkl > atlas && atlas > ours13 && ours13 > ours12) {
+		t.Errorf("Fig 11 ordering wrong: MKL=%.0f ATLAS=%.0f ours13=%.0f ours12=%.0f",
+			mkl, atlas, ours13, ours12)
+	}
+	// The SDK upgrade is worth around 20% (paper).
+	if r := ours13 / ours12; r < 1.1 || r > 1.35 {
+		t.Errorf("SDK 2013/2012 ratio = %.2f, paper says ~1.2", r)
+	}
+}
+
+func TestAblationLocalMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("12 extra tuning runs")
+	}
+	tb, err := session(t).AblationLocalMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 12 {
+		t.Fatalf("ablation rows = %d, want 12", len(tb.Rows))
+	}
+	ratio := func(dev, prec string) float64 {
+		return num(t, cell(t, tb, func(r []string) bool { return r[0] == dev && r[1] == prec }, "Ratio"))
+	}
+	// No-LDS is a subspace of the full space, but both searches sample
+	// their spaces at this test's reduced budget, so a few percent of
+	// sampling wobble is possible.
+	for _, r := range tb.Rows {
+		if v := num(t, r[4]); v > 1.06 {
+			t.Errorf("no-LDS must not beat full space: %v", r)
+		}
+	}
+	// Kepler SGEMM: clear loss without LDS (paper: 1440 → 1150).
+	if v := ratio("Kepler", "SGEMM"); v > 0.92 {
+		t.Errorf("Kepler SGEMM no-LDS ratio %.2f, want clear loss", v)
+	}
+	// Cayman winner avoids local memory, so the ratio is ~1.
+	if v := ratio("Cayman", "SGEMM"); v < 0.97 {
+		t.Errorf("Cayman SGEMM no-LDS ratio %.2f, want ~1 (LDS hurts there)", v)
+	}
+	// CPUs: no prominent difference.
+	for _, dev := range []string{"Sandy Bridge", "Bulldozer"} {
+		if v := ratio(dev, "DGEMM"); v < 0.9 {
+			t.Errorf("%s DGEMM no-LDS ratio %.2f, want mild", dev, v)
+		}
+	}
+}
+
+func TestAblationLayoutAndBankConflicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("12 extra tuning runs")
+	}
+	tb, err := session(t).AblationLayout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row-major must never win; the effect is big on AMD GPUs.
+	for _, r := range tb.Rows {
+		v := num(t, r[4])
+		if v > 1.0 {
+			t.Errorf("row-major must not beat block-major: %v", r)
+		}
+		if (r[0] == "Tahiti" || r[0] == "Cayman") && v > 0.995 {
+			t.Errorf("%s %s: layout effect should be visible on AMD GPUs (%.3f)", r[0], r[1], v)
+		}
+	}
+
+	fig, err := session(t).BankConflictSeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := fig.Lines[0]
+	at := func(l Line, n int) float64 {
+		for i, x := range l.X {
+			if x == n {
+				return l.Y[i]
+			}
+		}
+		t.Fatalf("no point at N=%d", n)
+		return 0
+	}
+	if at(rm, 2048) > 0.75*at(rm, 1920) {
+		t.Errorf("row-major kernel must dip at N=2048: %.0f vs %.0f at 1920", at(rm, 2048), at(rm, 1920))
+	}
+	bm := fig.Lines[1]
+	if at(bm, 2048) < 0.9*at(bm, 1920) {
+		t.Errorf("block-major kernel must be immune at N=2048: %.0f vs %.0f", at(bm, 2048), at(bm, 1920))
+	}
+}
+
+func TestCypressComparison(t *testing.T) {
+	tb, err := session(t).CypressComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours := num(t, cell(t, tb, func(r []string) bool { return strings.HasPrefix(r[0], "This study") }, "GFlop/s"))
+	il := num(t, cell(t, tb, func(r []string) bool { return strings.HasPrefix(r[0], "Nakasato") }, "GFlop/s"))
+	du := num(t, cell(t, tb, func(r []string) bool { return strings.HasPrefix(r[0], "Du et al.") }, "GFlop/s"))
+	// Paper §IV-C: ours 495 vs IL 498 (within a hair), both far above
+	// Du et al.'s 308.
+	if r := ours / il; r < 0.85 || r > 1.15 {
+		t.Errorf("ours/IL = %.2f, paper says ~0.99", r)
+	}
+	if ours <= du*1.3 {
+		t.Errorf("ours (%.0f) must be far above Du et al. (%.0f)", ours, du)
+	}
+}
+
+func TestSessionCache(t *testing.T) {
+	s := session(t)
+	before := s.CachedSearches()
+	if _, err := s.Selection("tahiti", matrix.Double, Full); err != nil {
+		t.Fatal(err)
+	}
+	mid := s.CachedSearches()
+	if _, err := s.Selection("tahiti", matrix.Double, Full); err != nil {
+		t.Fatal(err)
+	}
+	if s.CachedSearches() != mid {
+		t.Error("repeated selection must hit the cache")
+	}
+	if mid < before {
+		t.Error("cache shrank")
+	}
+}
+
+func TestDeviceResolution(t *testing.T) {
+	for _, id := range append(append([]string{}, mainDevices...), "cypress", "sandybridge-sdk2012") {
+		if _, err := Device(id); err != nil {
+			t.Errorf("Device(%q): %v", id, err)
+		}
+	}
+	if _, err := Device("nope"); err == nil {
+		t.Error("unknown device must fail")
+	}
+}
+
+func TestPortabilityTable(t *testing.T) {
+	tb, err := session(t).PortabilityTable(matrix.Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 || len(tb.Columns) != 7 {
+		t.Fatalf("portability matrix shape wrong: %dx%d", len(tb.Rows), len(tb.Columns))
+	}
+	offDiagBelow := 0
+	offDiagTotal := 0
+	for i, r := range tb.Rows {
+		for j, c := range r[1:] {
+			if i == j {
+				if c != "1.00" {
+					t.Errorf("diagonal must be 1.00, got %q", c)
+				}
+				continue
+			}
+			offDiagTotal++
+			if c == "fail" {
+				offDiagBelow++ // strongest form of non-portability
+				continue
+			}
+			if v := num(t, c); v < 0.9 {
+				offDiagBelow++
+			}
+			if v := num(t, c); v > 1.05 {
+				t.Errorf("foreign kernel must not beat the native tuning: %s at (%d,%d)", c, i, j)
+			}
+		}
+	}
+	// The paper's motivation: most foreign kernels fall well short (or
+	// fail outright) on other devices.
+	if offDiagBelow < offDiagTotal/2 {
+		t.Errorf("performance looks too portable: only %d of %d off-diagonal entries below 0.9",
+			offDiagBelow, offDiagTotal)
+	}
+}
+
+func TestStrategyComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("18 searches")
+	}
+	tb, err := session(t).StrategyComparison(matrix.Double, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("strategy table rows = %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		ex := num(t, r[1])
+		rnd := num(t, r[2])
+		ann := num(t, r[3])
+		if ex <= 0 || rnd <= 0 || ann <= 0 {
+			t.Errorf("%s: non-positive strategy results %v", r[0], r)
+		}
+		// With equal budgets no strategy should be out of band.
+		if ann < 0.7*ex || rnd < 0.5*ex {
+			t.Errorf("%s: strategies diverge too much: %v", r[0], r)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+	"oclgemm/internal/perfmodel"
+)
+
+// PortabilityTable makes the paper's motivation explicit (§I:
+// "performance is not always portable across different processors in
+// OpenCL"): it takes the kernel tuned for each device and evaluates it
+// on every other device, reporting the fraction of the target device's
+// own tuned performance it reaches. Auto-tuning is worthwhile exactly
+// because the off-diagonal entries fall well below 1.
+func (s *Session) PortabilityTable(prec matrix.Precision) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Performance portability: %s kernel tuned for row-device, run on column-device (fraction of the column device's own tuned performance)", prec.GEMMName()),
+		Columns: []string{"Tuned for \\ Run on"},
+	}
+	var ids []string
+	for _, id := range mainDevices {
+		d, _ := device.ByID(id)
+		t.Columns = append(t.Columns, d.CodeName)
+		ids = append(ids, id)
+	}
+
+	for _, rowID := range ids {
+		rowSel, err := s.Selection(rowID, prec, Full)
+		if err != nil {
+			return nil, err
+		}
+		rowDev, _ := device.ByID(rowID)
+		cells := []string{rowDev.CodeName}
+		for _, colID := range ids {
+			colSel, err := s.Selection(colID, prec, Full)
+			if err != nil {
+				return nil, err
+			}
+			colDev, _ := device.ByID(colID)
+			if rowID == colID {
+				cells = append(cells, "1.00")
+				continue
+			}
+			p := rowSel.Best.Params
+			n := probeFor(colDev, p.LCM())
+			gf, err := perfmodel.KernelGFlops(colDev, &p, n, n, n)
+			if err != nil {
+				// The foreign kernel does not even run here (e.g. the
+				// work-group exceeds the device limit, local memory
+				// overflows, or a device quirk rejects it) — the
+				// strongest form of non-portability.
+				cells = append(cells, "fail")
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%.2f", gf/colSel.Best.Best))
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// probeFor picks an evaluation size appropriate to the device class,
+// aligned to the kernel's LCM.
+func probeFor(d *device.Spec, lcm int) int {
+	base := 4096
+	if d.Kind == device.CPU {
+		base = 1536
+	}
+	n := base / lcm * lcm
+	if n < lcm {
+		n = lcm
+	}
+	return n
+}

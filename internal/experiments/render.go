@@ -1,0 +1,173 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation section (Table I-III, Figs. 7-11) plus the
+// ablations its analysis calls out, on top of the auto-tuner, the
+// performance model, the full GEMM implementation and the vendor
+// baselines. Results render as aligned text tables (the form the paper
+// prints) and as CSV for plotting.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; cells beyond len(Columns) are dropped, missing
+// cells are blank-filled.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render returns the table as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// CSV returns the table in CSV form (title as a comment line).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+	}
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Line is one curve of a figure.
+type Line struct {
+	Name string
+	X    []int
+	Y    []float64
+}
+
+// Series is a figure: several lines over a common x meaning.
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Lines  []Line
+}
+
+// grid collects the union of x values in ascending order.
+func (s *Series) grid() []int {
+	seen := map[int]bool{}
+	var xs []int
+	for _, l := range s.Lines {
+		for _, x := range l.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs
+}
+
+func (l *Line) at(x int) (float64, bool) {
+	for i, xv := range l.X {
+		if xv == x {
+			return l.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Render returns the figure as a text table: one row per x value, one
+// column per line.
+func (s *Series) Render() string {
+	t := Table{Title: s.Title, Columns: append([]string{s.XLabel}, names(s.Lines)...)}
+	for _, x := range s.grid() {
+		cells := []string{fmt.Sprintf("%d", x)}
+		for i := range s.Lines {
+			if y, ok := s.Lines[i].at(x); ok {
+				cells = append(cells, fmt.Sprintf("%.1f", y))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t.Render()
+}
+
+// CSV returns the figure as CSV with the same layout as Render.
+func (s *Series) CSV() string {
+	t := Table{Title: fmt.Sprintf("%s (%s)", s.Title, s.YLabel), Columns: append([]string{s.XLabel}, names(s.Lines)...)}
+	for _, x := range s.grid() {
+		cells := []string{fmt.Sprintf("%d", x)}
+		for i := range s.Lines {
+			if y, ok := s.Lines[i].at(x); ok {
+				cells = append(cells, fmt.Sprintf("%.2f", y))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t.CSV()
+}
+
+func names(lines []Line) []string {
+	out := make([]string, len(lines))
+	for i := range lines {
+		out[i] = lines[i].Name
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"A", "Blong"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333") // short row: blank-filled
+	out := tb.Render()
+	if !strings.HasPrefix(out, "T\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "A    Blong") {
+		t.Errorf("columns not aligned:\n%s", out)
+	}
+	if !strings.Contains(out, "333") {
+		t.Errorf("missing row:\n%s", out)
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, "# T\nA,Blong\n1,2\n333,\n") {
+		t.Errorf("CSV wrong:\n%s", csv)
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := &Series{Title: "Fig", XLabel: "N", YLabel: "GF",
+		Lines: []Line{
+			{Name: "a", X: []int{128, 256}, Y: []float64{1, 2}},
+			{Name: "b", X: []int{256, 512}, Y: []float64{3, 4}},
+		}}
+	out := s.Render()
+	for _, frag := range []string{"Fig", "N", "a", "b", "128", "256", "512", "3.0"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+	// The union grid must be sorted and lines sparse-filled.
+	csv := s.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 5 { // comment, header, 3 x-values
+		t.Errorf("CSV rows = %d:\n%s", len(lines), csv)
+	}
+	if !strings.Contains(csv, "128,1.00,") {
+		t.Errorf("sparse fill wrong:\n%s", csv)
+	}
+}
+
+func TestSeriesGridSorted(t *testing.T) {
+	s := &Series{Lines: []Line{{Name: "x", X: []int{512, 128, 256}, Y: []float64{1, 2, 3}}}}
+	g := s.grid()
+	for i := 1; i < len(g); i++ {
+		if g[i] < g[i-1] {
+			t.Fatalf("grid not sorted: %v", g)
+		}
+	}
+}

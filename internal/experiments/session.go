@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/core"
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+)
+
+// Variant selects a search-space restriction for a tuning run.
+type Variant int
+
+const (
+	// Full is the complete improved-generator space.
+	Full Variant = iota
+	// NoLocalMemory disables local-memory staging (§IV-A ablation).
+	NoLocalMemory
+	// OnlyBA / OnlyPL / OnlyDB restrict the algorithm (Fig. 8).
+	OnlyBA
+	OnlyPL
+	OnlyDB
+	// PreviousStudy is the MCSoC-12 generator's restricted space.
+	PreviousStudy
+	// RowMajorOnly forbids block-major layouts (§IV-A layout ablation).
+	RowMajorOnly
+)
+
+func (v Variant) String() string {
+	switch v {
+	case NoLocalMemory:
+		return "no-local-memory"
+	case OnlyBA:
+		return "BA"
+	case OnlyPL:
+		return "PL"
+	case OnlyDB:
+		return "DB"
+	case PreviousStudy:
+		return "previous-study"
+	case RowMajorOnly:
+		return "row-major"
+	default:
+		return "full"
+	}
+}
+
+// Config bounds the cost of a session's tuning runs.
+type Config struct {
+	// MaxCandidates is the per-search stage-1 budget (0 = tuner
+	// default of 25000; tests and quick runs use less).
+	MaxCandidates int
+	// MaxSize is the largest stage-2 problem size (0 = 8192).
+	MaxSize int
+}
+
+// Session caches tuning runs so that the tables and figures sharing a
+// selection (e.g. Table II and Fig. 7) pay for each search once.
+type Session struct {
+	cfg Config
+
+	mu   sync.Mutex
+	sels map[string]*core.Selection
+}
+
+// NewSession creates a session.
+func NewSession(cfg Config) *Session {
+	return &Session{cfg: cfg, sels: make(map[string]*core.Selection)}
+}
+
+// Device resolves a device ID, including the SDK and Cypress variants
+// that are not part of Table I's main list.
+func Device(id string) (*device.Spec, error) {
+	switch id {
+	case "sandybridge-sdk2012":
+		return device.SandyBridgeSDK2012(), nil
+	case "cypress":
+		return device.Cypress(), nil
+	}
+	return device.ByID(id)
+}
+
+func space(d *device.Spec, v Variant) *core.Space {
+	var s core.Space
+	switch v {
+	case NoLocalMemory:
+		s = core.NoLocalMemorySpace(d)
+	case OnlyBA:
+		s = core.AlgorithmSpace(d, codegen.BA)
+	case OnlyPL:
+		s = core.AlgorithmSpace(d, codegen.PL)
+	case OnlyDB:
+		s = core.AlgorithmSpace(d, codegen.DB)
+	case PreviousStudy:
+		s = core.PreviousStudySpace(d)
+	case RowMajorOnly:
+		s = core.LayoutRestrictedSpace(d, core.LayoutPair{A: matrix.LayoutRowMajor, B: matrix.LayoutRowMajor})
+	default:
+		s = core.DefaultSpace(d)
+	}
+	return &s
+}
+
+// Selection returns (and caches) the tuning result for a device,
+// precision and space variant.
+func (s *Session) Selection(devID string, prec matrix.Precision, v Variant) (*core.Selection, error) {
+	key := fmt.Sprintf("%s/%s/%s", devID, prec, v)
+	s.mu.Lock()
+	if sel, ok := s.sels[key]; ok {
+		s.mu.Unlock()
+		return sel, nil
+	}
+	s.mu.Unlock()
+
+	d, err := Device(devID)
+	if err != nil {
+		return nil, err
+	}
+	tn, err := core.New(core.Options{
+		Device:        d,
+		Precision:     prec,
+		Space:         space(d, v),
+		MaxCandidates: s.cfg.MaxCandidates,
+		MaxSize:       s.cfg.MaxSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sel, err := tn.Search()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.sels[key] = sel
+	s.mu.Unlock()
+	return sel, nil
+}
+
+// CachedSearches reports how many distinct tuning runs the session has
+// performed.
+func (s *Session) CachedSearches() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sels)
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"oclgemm/internal/core"
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+)
+
+// StrategyComparison compares search strategies at equal evaluation
+// budgets: the paper's sampled-exhaustive three-stage search against
+// uniform random sampling and simulated annealing (an extension the
+// paper leaves open — its §III-F engine is the first column). Values
+// are best-found GFlop/s at the probe size.
+func (s *Session) StrategyComparison(prec matrix.Precision, budget int) (*Table, error) {
+	if budget <= 0 {
+		budget = 2000
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Search strategies at %d evaluations (%s, best probe GFlop/s)",
+			budget, prec.GEMMName()),
+		Columns: []string{"Processor", "Sampled exhaustive", "Random sampling", "Simulated annealing",
+			"Anneal/Exhaustive"},
+	}
+	for _, id := range mainDevices {
+		d, _ := device.ByID(id)
+		tn, err := core.New(core.Options{
+			Device: d, Precision: prec,
+			MaxCandidates: budget,
+			MaxSize:       s.cfg.MaxSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sel, err := tn.Search()
+		if err != nil {
+			return nil, err
+		}
+		rnd, err := tn.RandomSearch(budget, 1)
+		if err != nil {
+			return nil, err
+		}
+		ann, err := tn.Anneal(budget, 1)
+		if err != nil {
+			return nil, err
+		}
+		exBest := sel.Best.Probe
+		t.AddRow(d.CodeName,
+			fmt.Sprintf("%.0f", exBest),
+			fmt.Sprintf("%.0f", rnd.Best.Probe),
+			fmt.Sprintf("%.0f", ann.Best.Probe),
+			fmt.Sprintf("%.2f", ann.Best.Probe/exBest))
+	}
+	return t, nil
+}

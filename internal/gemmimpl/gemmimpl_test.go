@@ -1,0 +1,228 @@
+package gemmimpl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oclgemm/internal/blas"
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+)
+
+func testImpl(t *testing.T) *Impl {
+	t.Helper()
+	p := codegen.Params{
+		Precision: matrix.Double, Algorithm: codegen.BA,
+		Mwg: 8, Nwg: 8, Kwg: 4,
+		MdimC: 4, NdimC: 4, MdimA: 4, NdimB: 4,
+		Kwi: 2, VectorWidth: 1,
+		SharedA: true, SharedB: true,
+		LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL,
+	}
+	im, err := New(device.Tahiti(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func randCM(rows, cols int, seed int64) *matrix.Matrix[float64] {
+	m := matrix.New[float64](rows, cols, matrix.ColMajor)
+	m.FillRandom(rand.New(rand.NewSource(seed)))
+	return m
+}
+
+// All four GEMM types on column-major data (the paper's §IV-B setup),
+// with sizes NOT multiples of the blocking factors (exercises padding).
+func TestAllTypesColumnMajorPadded(t *testing.T) {
+	im := testImpl(t)
+	m, n, k := 13, 19, 11
+	for _, g := range blas.GEMMTypes {
+		var a, b *matrix.Matrix[float64]
+		if g.TransA == blas.Trans {
+			a = randCM(k, m, 1)
+		} else {
+			a = randCM(m, k, 1)
+		}
+		if g.TransB == blas.Trans {
+			b = randCM(n, k, 2)
+		} else {
+			b = randCM(k, n, 2)
+		}
+		c := randCM(m, n, 3)
+		want := c.Clone()
+		blas.GEMM(g.TransA, g.TransB, 1.5, a, b, -0.25, want)
+
+		if err := Run(im, g.TransA, g.TransB, 1.5, a, b, -0.25, c); err != nil {
+			t.Fatalf("%s: %v", g, err)
+		}
+		if d := matrix.MaxRelDiff(c, want); d > 1e-12 {
+			t.Errorf("%s: diff %g vs reference", g, d)
+		}
+	}
+}
+
+func TestRowMajorInputs(t *testing.T) {
+	im := testImpl(t)
+	m, n, k := 16, 8, 12
+	a := matrix.New[float64](m, k, matrix.RowMajor)
+	b := matrix.New[float64](k, n, matrix.RowMajor)
+	c := matrix.New[float64](m, n, matrix.RowMajor)
+	rng := rand.New(rand.NewSource(4))
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	c.FillRandom(rng)
+	want := c.Clone()
+	blas.GEMM(blas.NoTrans, blas.NoTrans, 1.0, a, b, 0.0, want)
+	if err := Run(im, blas.NoTrans, blas.NoTrans, 1.0, a, b, 0.0, c); err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxRelDiff(c, want); d > 1e-12 {
+		t.Errorf("row-major diff %g", d)
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	im := testImpl(t)
+	a := randCM(4, 5, 1)
+	b := randCM(6, 7, 2) // inner mismatch
+	c := randCM(4, 7, 3)
+	if err := Run(im, blas.NoTrans, blas.NoTrans, 1.0, a, b, 0.0, c); err == nil {
+		t.Error("inner mismatch must fail")
+	}
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	p := codegen.Params{Mwg: 7, Nwg: 8, Kwg: 4, MdimC: 4, NdimC: 4, Kwi: 2, VectorWidth: 1}
+	if _, err := New(device.Tahiti(), p); err == nil {
+		t.Error("invalid params must be rejected")
+	}
+}
+
+// The copy overhead must make small problems relatively slow and be
+// amortized at large sizes (paper Fig. 9 discussion).
+func TestCopyOverheadAmortization(t *testing.T) {
+	p := codegen.Params{
+		Precision: matrix.Double, Algorithm: codegen.BA,
+		Mwg: 96, Nwg: 32, Kwg: 48, MdimC: 16, NdimC: 16, MdimA: 16, NdimB: 16,
+		Kwi: 2, VectorWidth: 2, SharedB: true,
+		LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL,
+	}
+	im, err := New(device.Tahiti(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := im.Time(384, 384, 384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := im.Time(4032, 4032, 4032)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracSmall := small.CopySeconds / small.TotalSeconds
+	fracLarge := large.CopySeconds / large.TotalSeconds
+	if fracSmall <= fracLarge {
+		t.Errorf("copy fraction must shrink with size: %.3f vs %.3f", fracSmall, fracLarge)
+	}
+	if fracLarge > 0.10 {
+		t.Errorf("copy overhead at N=4032 should be amortized, got %.3f", fracLarge)
+	}
+
+	gfS, _ := im.GFlops(384, 384, 384)
+	gfL, _ := im.GFlops(4032, 4032, 4032)
+	if gfS >= gfL {
+		t.Errorf("implementation must be slower for small sizes: %.0f vs %.0f", gfS, gfL)
+	}
+	// Kernel-only performance must exceed the full implementation.
+	if gfL >= blas.FlopCount(4032, 4032, 4032)/large.Kernel.Total/1e9 {
+		t.Error("full routine cannot beat its own kernel")
+	}
+}
+
+// Performance must be nearly independent of the GEMM type (Table III).
+func TestTypeIndependentCost(t *testing.T) {
+	im := testImpl(t)
+	// Time() has no type argument by design; this asserts the API
+	// reflects the paper's observation. Functional equivalence across
+	// types is covered above; here we just pin the modeled numbers.
+	a, err := im.Time(100, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalSeconds <= 0 || a.CopySeconds <= 0 {
+		t.Error("breakdown must be positive")
+	}
+}
+
+// Property: random shapes and scalars agree with the reference.
+func TestRunPropertyRandomShapes(t *testing.T) {
+	im := testImpl(t)
+	f := func(ms, ns, ks uint8, ta, tb bool, seed int64) bool {
+		m := int(ms%24) + 1
+		n := int(ns%24) + 1
+		k := int(ks%24) + 1
+		tA, tB := blas.NoTrans, blas.NoTrans
+		if ta {
+			tA = blas.Trans
+		}
+		if tb {
+			tB = blas.Trans
+		}
+		var a, b *matrix.Matrix[float64]
+		if tA == blas.Trans {
+			a = randCM(k, m, seed)
+		} else {
+			a = randCM(m, k, seed)
+		}
+		if tB == blas.Trans {
+			b = randCM(n, k, seed+1)
+		} else {
+			b = randCM(k, n, seed+1)
+		}
+		c := randCM(m, n, seed+2)
+		want := c.Clone()
+		blas.GEMM(tA, tB, 0.5, a, b, 2.0, want)
+		if err := Run(im, tA, tB, 0.5, a, b, 2.0, c); err != nil {
+			return false
+		}
+		return matrix.MaxRelDiff(c, want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Float32 path through the clsim buffers.
+func TestRunFloat32(t *testing.T) {
+	p := codegen.Params{
+		Precision: matrix.Single, Algorithm: codegen.BA,
+		Mwg: 8, Nwg: 8, Kwg: 4,
+		MdimC: 4, NdimC: 4, MdimA: 4, NdimB: 4,
+		Kwi: 2, VectorWidth: 2,
+		SharedB: true,
+		LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutRBL,
+	}
+	im, err := New(device.Fermi(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n, k := 10, 9, 7
+	a := matrix.New[float32](m, k, matrix.ColMajor)
+	b := matrix.New[float32](k, n, matrix.ColMajor)
+	c := matrix.New[float32](m, n, matrix.ColMajor)
+	rng := rand.New(rand.NewSource(9))
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	c.FillRandom(rng)
+	want := c.Clone()
+	blas.GEMM(blas.NoTrans, blas.NoTrans, float32(1), a, b, float32(1), want)
+	if err := Run(im, blas.NoTrans, blas.NoTrans, float32(1), a, b, float32(1), c); err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxRelDiff(c, want); d > float64(matrix.Tolerance(matrix.Single, k)) {
+		t.Errorf("float32 diff %g", d)
+	}
+}

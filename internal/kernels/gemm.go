@@ -1,0 +1,458 @@
+// Package kernels provides executable Go implementations of the GEMM
+// kernels the code generator produces: the BA, PL and DB schedules of
+// §III-E, parameterized by the full codegen.Params space (blocking,
+// work-group shape, stride modes, local-memory staging with reshaped
+// cooperative loads, and block-major layouts).
+//
+// These kernels run on the clsim lockstep executor and compute real
+// results; they are the functional counterpart of the performance
+// model, and they cross-check the OpenCL C sources emitted by the
+// generator (interpreted by the clc package) against the reference
+// BLAS.
+package kernels
+
+import (
+	"fmt"
+
+	"oclgemm/internal/clsim"
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/matrix"
+)
+
+// index maps matrix coordinates (r, c) of an R×C operand to a flat
+// offset under one of the generator's layouts with (rb, cb) blocking.
+type index func(r, c int) int
+
+func indexer(layout matrix.Layout, rows, cols, rb, cb int) index {
+	switch layout {
+	case matrix.LayoutCBL:
+		return func(r, c int) int {
+			return (c/cb)*(rows*cb) + r*cb + c%cb
+		}
+	case matrix.LayoutRBL:
+		return func(r, c int) int {
+			return (r/rb)*(rb*cols) + (c/cb)*(rb*cb) + (r%rb)*cb + c%cb
+		}
+	default:
+		return func(r, c int) int { return r*cols + c }
+	}
+}
+
+// GEMM is one launchable C ← α·Aᵀ·B + β·C kernel instance. A is the
+// K×M transposed operand in layout P.LayoutA with (Kwg, Mwg) blocking,
+// B the K×N operand in layout P.LayoutB with (Kwg, Nwg) blocking, and
+// C the M×N row-major output. M, N, K must be multiples of the
+// blocking factors (the planner pads first).
+type GEMM[T matrix.Scalar] struct {
+	P           codegen.Params
+	M, N, K     int
+	Alpha, Beta T
+	A, B, C     []T
+
+	idxA, idxB index
+}
+
+// NewGEMM validates shapes and builds the kernel.
+func NewGEMM[T matrix.Scalar](p codegen.Params, m, n, k int, alpha T, a []T, b []T, beta T, c []T) (*GEMM[T], error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if m%p.Mwg != 0 || n%p.Nwg != 0 || k%p.Kwg != 0 {
+		return nil, fmt.Errorf("kernels: %dx%dx%d not padded to blocking %dx%dx%d", m, n, k, p.Mwg, p.Nwg, p.Kwg)
+	}
+	if k < p.MinK() {
+		return nil, fmt.Errorf("kernels: K=%d below algorithm minimum %d", k, p.MinK())
+	}
+	if len(a) < k*m || len(b) < k*n || len(c) < m*n {
+		return nil, fmt.Errorf("kernels: buffer sizes %d/%d/%d too small for %dx%dx%d", len(a), len(b), len(c), m, n, k)
+	}
+	return &GEMM[T]{
+		P: p, M: m, N: n, K: k,
+		Alpha: alpha, Beta: beta,
+		A: a, B: b, C: c,
+		idxA: indexer(p.LayoutA, k, m, p.Kwg, p.Mwg),
+		idxB: indexer(p.LayoutB, k, n, p.Kwg, p.Nwg),
+	}, nil
+}
+
+// Name implements clsim.GroupKernel.
+func (g *GEMM[T]) Name() string { return g.P.Name() }
+
+// NDRange returns the launch geometry: one work-item per (MdimC, NdimC)
+// cell of each (M/Mwg)×(N/Nwg) work-group grid.
+func (g *GEMM[T]) NDRange() clsim.NDRange {
+	return clsim.NDRange{
+		Global: [2]int{g.M / g.P.Mwg * g.P.MdimC, g.N / g.P.Nwg * g.P.NdimC},
+		Local:  [2]int{g.P.MdimC, g.P.NdimC},
+	}
+}
+
+// rowOf returns the global M index of element i of the work-item at
+// local x-coordinate lx (unit or MdimC-strided mapping, Fig. 2).
+func (g *GEMM[T]) rowOf(gx, lx, i int) int {
+	if g.P.StrideM {
+		return gx*g.P.Mwg + lx + i*g.P.MdimC
+	}
+	return gx*g.P.Mwg + lx*g.P.Mwi() + i
+}
+
+// colOf returns the global N index of element j of the work-item at
+// local y-coordinate ly. With vector width vw, the Nwi elements are
+// grouped into vw-wide vectors; the strided mapping interleaves the
+// vectors at vw·NdimC pitch (§III-B: "stride sizes are multiplied by
+// the vector width").
+func (g *GEMM[T]) colOf(gy, ly, j int) int {
+	vw := g.P.VectorWidth
+	if g.P.StrideN {
+		jv, je := j/vw, j%vw
+		return gy*g.P.Nwg + jv*(vw*g.P.NdimC) + ly*vw + je
+	}
+	return gy*g.P.Nwg + ly*g.P.Nwi() + j
+}
+
+// state is the per-work-group execution state shared by the three
+// schedules: local memory panels and per-work-item private memory.
+type state[T matrix.Scalar] struct {
+	alm, blm []T // local panels (Kwg×Mwg / Kwg×Nwg), nil if not shared
+	acc      []T // per-WI accumulators, wi*Mwi*Nwi
+	mwi, nwi int
+}
+
+func (g *GEMM[T]) newState(run *clsim.GroupRun) *state[T] {
+	s := &state[T]{mwi: g.P.Mwi(), nwi: g.P.Nwi()}
+	s.acc = make([]T, run.Size()*s.mwi*s.nwi)
+	if g.P.SharedA {
+		s.alm = allocLocal[T](run, g.P.Kwg*g.P.Mwg)
+	}
+	if g.P.SharedB {
+		s.blm = allocLocal[T](run, g.P.Kwg*g.P.Nwg)
+	}
+	return s
+}
+
+func allocLocal[T matrix.Scalar](run *clsim.GroupRun, n int) []T {
+	var zero T
+	switch any(zero).(type) {
+	case float64:
+		return any(run.AllocLocalFloat64(n)).([]T)
+	default:
+		return any(run.AllocLocalFloat32(n)).([]T)
+	}
+}
+
+// loadPanelA cooperatively stages rows [pwg+k0, pwg+k0+kLen) of the A
+// panel into alm (local layout: row-major Kwg×Mwg with row origin k0).
+// Each work-item covers an MwiA×KwiA' slice under the reshaped
+// (MdimA × KdimA) assignment of §III-C.
+func (g *GEMM[T]) loadPanelA(s *state[T], run *clsim.GroupRun, gx, pwg, k0, kLen int) {
+	p := &g.P
+	mdimA := p.MdimA
+	kdim := p.WGSize() / mdimA
+	kPer := kLen / kdim
+	run.ForAll(func(lx, ly int) {
+		t := ly*p.MdimC + lx
+		am := t % mdimA
+		ak := t / mdimA
+		for kk := 0; kk < kPer; kk++ {
+			k := ak + kk*kdim
+			for mm := 0; mm < p.Mwg/mdimA; mm++ {
+				m := am + mm*mdimA
+				s.alm[(k0+k)*p.Mwg+m] = g.A[g.idxA(pwg+k0+k, gx*p.Mwg+m)]
+			}
+		}
+	})
+}
+
+// loadPanelB is the B counterpart of loadPanelA (NdimB × KdimB grid).
+func (g *GEMM[T]) loadPanelB(s *state[T], run *clsim.GroupRun, gy, pwg, k0, kLen int) {
+	p := &g.P
+	ndimB := p.NdimB
+	kdim := p.WGSize() / ndimB
+	kPer := kLen / kdim
+	run.ForAll(func(lx, ly int) {
+		t := ly*p.MdimC + lx
+		bn := t % ndimB
+		bk := t / ndimB
+		for kk := 0; kk < kPer; kk++ {
+			k := bk + kk*kdim
+			for nn := 0; nn < p.Nwg/ndimB; nn++ {
+				n := bn + nn*ndimB
+				s.blm[(k0+k)*p.Nwg+n] = g.B[g.idxB(pwg+k0+k, gy*p.Nwg+n)]
+			}
+		}
+	})
+}
+
+// compute performs the inner multiply-accumulate for local k range
+// [k0, k0+kLen) of the panel at pwg. Operands come from local memory
+// when staged, directly from global memory otherwise.
+func (g *GEMM[T]) compute(s *state[T], run *clsim.GroupRun, gx, gy, pwg, k0, kLen int) {
+	p := &g.P
+	run.ForAll(func(lx, ly int) {
+		wi := ly*p.MdimC + lx
+		acc := s.acc[wi*s.mwi*s.nwi : (wi+1)*s.mwi*s.nwi]
+		for kk := k0; kk < k0+kLen; kk++ {
+			for i := 0; i < s.mwi; i++ {
+				var av T
+				if p.SharedA {
+					// Local A panel is row-major Kwg×Mwg; the local M
+					// coordinate mirrors the compute mapping.
+					av = s.alm[kk*p.Mwg+g.rowOf(0, lx, i)]
+				} else {
+					av = g.A[g.idxA(pwg+kk, g.rowOf(gx, lx, i))]
+				}
+				if av == 0 {
+					continue
+				}
+				for j := 0; j < s.nwi; j++ {
+					var bv T
+					if p.SharedB {
+						bv = s.blm[kk*p.Nwg+g.colOf(0, ly, j)]
+					} else {
+						bv = g.B[g.idxB(pwg+kk, g.colOf(gy, ly, j))]
+					}
+					acc[i*s.nwi+j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// merge writes α·acc + β·C back to global C (line 13 of Fig. 4).
+func (g *GEMM[T]) merge(s *state[T], run *clsim.GroupRun, gx, gy int) {
+	p := &g.P
+	run.ForAll(func(lx, ly int) {
+		wi := ly*p.MdimC + lx
+		acc := s.acc[wi*s.mwi*s.nwi : (wi+1)*s.mwi*s.nwi]
+		for i := 0; i < s.mwi; i++ {
+			m := g.rowOf(gx, lx, i)
+			for j := 0; j < s.nwi; j++ {
+				n := g.colOf(gy, ly, j)
+				idx := m*g.N + n
+				g.C[idx] = g.Alpha*acc[i*s.nwi+j] + g.Beta*g.C[idx]
+			}
+		}
+	})
+}
+
+// RunGroup implements clsim.GroupKernel, dispatching on the schedule.
+func (g *GEMM[T]) RunGroup(run *clsim.GroupRun) {
+	switch g.P.Algorithm {
+	case codegen.PL:
+		g.runPL(run)
+	case codegen.DB:
+		g.runDB(run)
+	default:
+		g.runBA(run)
+	}
+}
+
+// runBA is the basic algorithm (Fig. 4): stage panel, barrier, compute,
+// barrier, next panel.
+func (g *GEMM[T]) runBA(run *clsim.GroupRun) {
+	p := &g.P
+	gx, gy := run.ID(0), run.ID(1)
+	s := g.newState(run)
+	for pwg := 0; pwg < g.K; pwg += p.Kwg {
+		if p.SharedA {
+			g.loadPanelA(s, run, gx, pwg, 0, p.Kwg)
+		}
+		if p.SharedB {
+			g.loadPanelB(s, run, gy, pwg, 0, p.Kwg)
+		}
+		// ForAll ends with an implicit barrier (Fig. 4 line 5).
+		g.compute(s, run, gx, gy, pwg, 0, p.Kwg)
+		// Implicit barrier again (line 11).
+	}
+	g.merge(s, run, gx, gy)
+}
+
+// runPL is the software-pipelined algorithm (Fig. 5): the panel for
+// iteration i+1 is fetched into private registers while iteration i
+// computes from local memory, then stored to local memory behind a
+// barrier. Functionally the staging is equivalent to BA; the schedule
+// (prologue, pipelined body, epilogue) is followed faithfully so the
+// barrier structure matches the generated source. Operands not staged
+// through local memory are read directly, as in BA.
+func (g *GEMM[T]) runPL(run *clsim.GroupRun) {
+	p := &g.P
+	gx, gy := run.ID(0), run.ID(1)
+	s := g.newState(run)
+
+	// Prologue (Fig. 5 lines 2-4): first panel into local memory.
+	if p.SharedA {
+		g.loadPanelA(s, run, gx, 0, 0, p.Kwg)
+	}
+	if p.SharedB {
+		g.loadPanelB(s, run, gy, 0, 0, p.Kwg)
+	}
+
+	// Per-work-item staging registers for the next panel.
+	var stageA, stageB []T
+	if p.SharedA {
+		stageA = make([]T, run.Size()*p.MwiA()*p.KwiA())
+	}
+	if p.SharedB {
+		stageB = make([]T, run.Size()*p.KwiB()*p.NwiB())
+	}
+
+	pwg := 0
+	for ; pwg <= g.K-2*p.Kwg; pwg += p.Kwg {
+		next := pwg + p.Kwg
+		// Lines 6-7: fetch next panel into private staging.
+		if p.SharedA {
+			g.stageLoadA(s, run, stageA, gx, next)
+		}
+		if p.SharedB {
+			g.stageLoadB(s, run, stageB, gy, next)
+		}
+		// Lines 9-13: compute current panel from local memory.
+		g.compute(s, run, gx, gy, pwg, 0, p.Kwg)
+		// Lines 15-16: store staging into local memory (barrier before
+		// and after, lines 14/17 — ForAll provides the phase barrier).
+		if p.SharedA {
+			g.stageStoreA(s, run, stageA)
+		}
+		if p.SharedB {
+			g.stageStoreB(s, run, stageB)
+		}
+	}
+	// Epilogue (lines 19-23): last panel.
+	g.compute(s, run, gx, gy, pwg, 0, p.Kwg)
+	g.merge(s, run, gx, gy)
+}
+
+func (g *GEMM[T]) stageLoadA(s *state[T], run *clsim.GroupRun, stage []T, gx, pwg int) {
+	p := &g.P
+	mdimA := p.MdimA
+	kdim := p.WGSize() / mdimA
+	per := p.MwiA() * p.KwiA()
+	run.ForAll(func(lx, ly int) {
+		t := ly*p.MdimC + lx
+		am, ak := t%mdimA, t/mdimA
+		buf := stage[t*per : (t+1)*per]
+		idx := 0
+		for kk := 0; kk < p.KwiA(); kk++ {
+			for mm := 0; mm < p.MwiA(); mm++ {
+				buf[idx] = g.A[g.idxA(pwg+ak+kk*kdim, gx*p.Mwg+am+mm*mdimA)]
+				idx++
+			}
+		}
+	})
+}
+
+func (g *GEMM[T]) stageStoreA(s *state[T], run *clsim.GroupRun, stage []T) {
+	p := &g.P
+	mdimA := p.MdimA
+	kdim := p.WGSize() / mdimA
+	per := p.MwiA() * p.KwiA()
+	run.ForAll(func(lx, ly int) {
+		t := ly*p.MdimC + lx
+		am, ak := t%mdimA, t/mdimA
+		buf := stage[t*per : (t+1)*per]
+		idx := 0
+		for kk := 0; kk < p.KwiA(); kk++ {
+			for mm := 0; mm < p.MwiA(); mm++ {
+				s.alm[(ak+kk*kdim)*p.Mwg+am+mm*mdimA] = buf[idx]
+				idx++
+			}
+		}
+	})
+}
+
+func (g *GEMM[T]) stageLoadB(s *state[T], run *clsim.GroupRun, stage []T, gy, pwg int) {
+	p := &g.P
+	ndimB := p.NdimB
+	kdim := p.WGSize() / ndimB
+	per := p.KwiB() * p.NwiB()
+	run.ForAll(func(lx, ly int) {
+		t := ly*p.MdimC + lx
+		bn, bk := t%ndimB, t/ndimB
+		buf := stage[t*per : (t+1)*per]
+		idx := 0
+		for kk := 0; kk < p.KwiB(); kk++ {
+			for nn := 0; nn < p.NwiB(); nn++ {
+				buf[idx] = g.B[g.idxB(pwg+bk+kk*kdim, gy*p.Nwg+bn+nn*ndimB)]
+				idx++
+			}
+		}
+	})
+}
+
+func (g *GEMM[T]) stageStoreB(s *state[T], run *clsim.GroupRun, stage []T) {
+	p := &g.P
+	ndimB := p.NdimB
+	kdim := p.WGSize() / ndimB
+	per := p.KwiB() * p.NwiB()
+	run.ForAll(func(lx, ly int) {
+		t := ly*p.MdimC + lx
+		bn, bk := t%ndimB, t/ndimB
+		buf := stage[t*per : (t+1)*per]
+		idx := 0
+		for kk := 0; kk < p.KwiB(); kk++ {
+			for nn := 0; nn < p.NwiB(); nn++ {
+				s.blm[(bk+kk*kdim)*p.Nwg+bn+nn*ndimB] = buf[idx]
+				idx++
+			}
+		}
+	})
+}
+
+// runDB is the double-buffered algorithm (Fig. 6): the Kwg panel is
+// split into two half-panels staged in alternating local-memory
+// buffers, so loads of one half overlap compute on the other. The two
+// halves live in the same local allocation (first and second Kwg/2
+// rows), matching the total local-memory budget of BA.
+func (g *GEMM[T]) runDB(run *clsim.GroupRun) {
+	p := &g.P
+	gx, gy := run.ID(0), run.ID(1)
+	s := g.newState(run)
+	half := p.Kwg / 2
+
+	// Lines 2-3: first half of the first panel into buffer 0.
+	if p.SharedA {
+		g.loadPanelA(s, run, gx, 0, 0, half)
+	}
+	if p.SharedB {
+		g.loadPanelB(s, run, gy, 0, 0, half)
+	}
+
+	pwg := 0
+	for ; pwg <= g.K-2*p.Kwg; pwg += p.Kwg {
+		// Lines 6-7: second half into buffer 1.
+		if p.SharedA {
+			g.loadPanelA(s, run, gx, pwg, half, half)
+		}
+		if p.SharedB {
+			g.loadPanelB(s, run, gy, pwg, half, half)
+		}
+		// Lines 8-12: compute on buffer 0.
+		g.compute(s, run, gx, gy, pwg, 0, half)
+		// Lines 14-15: next panel's first half into buffer 0.
+		if p.SharedA {
+			g.loadPanelA(s, run, gx, pwg+p.Kwg, 0, half)
+		}
+		if p.SharedB {
+			g.loadPanelB(s, run, gy, pwg+p.Kwg, 0, half)
+		}
+		// Lines 16-20: compute on buffer 1 (previous panel's k range).
+		g.computeDBHigh(s, run, gx, gy, pwg, half)
+	}
+	// Epilogue (lines 22-35): finish the last panel.
+	if p.SharedA {
+		g.loadPanelA(s, run, gx, pwg, half, half)
+	}
+	if p.SharedB {
+		g.loadPanelB(s, run, gy, pwg, half, half)
+	}
+	g.compute(s, run, gx, gy, pwg, 0, half)
+	g.computeDBHigh(s, run, gx, gy, pwg, half)
+	g.merge(s, run, gx, gy)
+}
+
+// computeDBHigh computes the upper half-panel [half, Kwg) of the panel
+// at pwg; direct (non-staged) operands read global memory at the true
+// k offset.
+func (g *GEMM[T]) computeDBHigh(s *state[T], run *clsim.GroupRun, gx, gy, pwg, half int) {
+	g.compute(s, run, gx, gy, pwg, half, half)
+}

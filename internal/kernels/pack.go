@@ -1,0 +1,80 @@
+package kernels
+
+import (
+	"fmt"
+
+	"oclgemm/internal/clsim"
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/matrix"
+)
+
+// Pack is the native executable form of the §III-D copy kernel: it
+// reads a row-major source (leading dimension LD, logical SR×SC,
+// optionally transposed) and writes the R×C zero-padded destination in
+// a block-major layout. It mirrors codegen.GeneratePackSource exactly;
+// the integration tests diff the two.
+type Pack[T matrix.Scalar] struct {
+	P          codegen.PackParams
+	SR, SC, LD int
+	R, C       int
+	S          []T
+	D          []T
+
+	idx index
+}
+
+// NewPack validates shapes and builds the kernel.
+func NewPack[T matrix.Scalar](p codegen.PackParams, sr, sc, ld, r, c int, s, d []T) (*Pack[T], error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if r%p.Rb != 0 || c%p.Cb != 0 {
+		return nil, fmt.Errorf("kernels: pack destination %dx%d not padded to %dx%d", r, c, p.Rb, p.Cb)
+	}
+	if ld < sc {
+		return nil, fmt.Errorf("kernels: pack LD %d below SC %d", ld, sc)
+	}
+	if len(s) < (sr-1)*ld+sc && sr > 0 {
+		return nil, fmt.Errorf("kernels: pack source buffer too small")
+	}
+	if len(d) < r*c {
+		return nil, fmt.Errorf("kernels: pack destination buffer too small")
+	}
+	return &Pack[T]{
+		P: p, SR: sr, SC: sc, LD: ld, R: r, C: c, S: s, D: d,
+		idx: indexer(p.Layout, r, c, p.Rb, p.Cb),
+	}, nil
+}
+
+// Name implements clsim.GroupKernel.
+func (k *Pack[T]) Name() string {
+	return fmt.Sprintf("pack_%s_%dx%d", k.P.Layout, k.P.Rb, k.P.Cb)
+}
+
+// NDRange returns the launch geometry.
+func (k *Pack[T]) NDRange() clsim.NDRange {
+	g, l := k.P.PackNDRange(k.R, k.C)
+	return clsim.NDRange{Global: g, Local: l}
+}
+
+// RunGroup implements clsim.GroupKernel.
+func (k *Pack[T]) RunGroup(run *clsim.GroupRun) {
+	run.ForAll(func(lx, ly int) {
+		c := run.GlobalID0(lx)
+		r := run.GlobalID1(ly)
+		if r >= k.R || c >= k.C {
+			return
+		}
+		var v T
+		if k.P.Transpose {
+			if c < k.SR && r < k.SC {
+				v = k.S[c*k.LD+r]
+			}
+		} else {
+			if r < k.SR && c < k.SC {
+				v = k.S[r*k.LD+c]
+			}
+		}
+		k.D[k.idx(r, c)] = v
+	})
+}

@@ -1,0 +1,207 @@
+package matrix
+
+import "fmt"
+
+// Layout enumerates the data layouts the code generator supports for the
+// A and B kernel inputs (paper §III-D, Fig. 3).
+type Layout int
+
+const (
+	// LayoutRowMajor is the plain row-major layout of Fig. 3(a).
+	LayoutRowMajor Layout = iota
+	// LayoutCBL is the column-block-row-major layout of Fig. 3(b): the
+	// matrix is split into full-height column blocks, and the data of
+	// each column block is stored in row-major order, blocks
+	// left-to-right.
+	LayoutCBL
+	// LayoutRBL is the row-block-row-major layout of Fig. 3(c): the
+	// matrix is split into Rb×Cb sub-blocks; each sub-block is stored in
+	// row-major order; sub-blocks are ordered row-block by row-block,
+	// left-to-right within a row block.
+	LayoutRBL
+)
+
+// String returns the paper's abbreviation for the layout.
+func (l Layout) String() string {
+	switch l {
+	case LayoutCBL:
+		return "CBL"
+	case LayoutRBL:
+		return "RBL"
+	default:
+		return "RM"
+	}
+}
+
+// ParseLayout converts a string produced by Layout.String back to a
+// Layout value.
+func ParseLayout(s string) (Layout, error) {
+	switch s {
+	case "RM", "row-major":
+		return LayoutRowMajor, nil
+	case "CBL":
+		return LayoutCBL, nil
+	case "RBL":
+		return LayoutRBL, nil
+	}
+	return 0, fmt.Errorf("matrix: unknown layout %q", s)
+}
+
+// Blocked is a rows×cols matrix stored in one of the generator's layouts
+// with blocking factors Rb (row-block height) and Cb (column-block
+// width). Rows must be divisible by Rb and Cols by Cb; the GEMM planner
+// zero-pads before packing to guarantee this.
+//
+// For the AᵀB kernel the A operand is a K×M transposed matrix blocked
+// with (Rb, Cb) = (Kwg, Mwg) and the B operand a K×N matrix blocked with
+// (Kwg, Nwg).
+type Blocked[T Scalar] struct {
+	Rows, Cols int
+	Rb, Cb     int
+	Layout     Layout
+	Data       []T
+}
+
+// NewBlocked allocates a zeroed blocked matrix. It panics if the blocking
+// factors do not evenly divide the dimensions (callers pad first).
+func NewBlocked[T Scalar](rows, cols, rb, cb int, layout Layout) *Blocked[T] {
+	if rb <= 0 || cb <= 0 {
+		panic(fmt.Sprintf("matrix: non-positive block %dx%d", rb, cb))
+	}
+	if rows%rb != 0 || cols%cb != 0 {
+		panic(fmt.Sprintf("matrix: %dx%d not divisible by block %dx%d", rows, cols, rb, cb))
+	}
+	return &Blocked[T]{
+		Rows: rows, Cols: cols,
+		Rb: rb, Cb: cb,
+		Layout: layout,
+		Data:   make([]T, rows*cols),
+	}
+}
+
+// Index returns the flat offset of element (r, c) under the layout.
+func (b *Blocked[T]) Index(r, c int) int {
+	switch b.Layout {
+	case LayoutCBL:
+		// Full-height column block of width Cb, row-major inside.
+		blk := c / b.Cb
+		return blk*b.Rows*b.Cb + r*b.Cb + c%b.Cb
+	case LayoutRBL:
+		// Rb×Cb sub-blocks, row-major inside, ordered by row block
+		// then column block.
+		rb := r / b.Rb
+		cb := c / b.Cb
+		return rb*b.Rb*b.Cols + cb*b.Rb*b.Cb + (r%b.Rb)*b.Cb + c%b.Cb
+	default:
+		return r*b.Cols + c
+	}
+}
+
+// At returns element (r, c).
+func (b *Blocked[T]) At(r, c int) T { return b.Data[b.Index(r, c)] }
+
+// Set assigns element (r, c).
+func (b *Blocked[T]) Set(r, c int, v T) { b.Data[b.Index(r, c)] = v }
+
+// BlockStart returns the flat offset at which the (brow, bcol) sub-block
+// begins. For CBL, brow indexes Rb-tall slices within the column block
+// bcol (the sub-block is contiguous only in RBL; in CBL consecutive rows
+// of a sub-block are Cb apart, which is still unit-stride within a row).
+func (b *Blocked[T]) BlockStart(brow, bcol int) int {
+	return b.Index(brow*b.Rb, bcol*b.Cb)
+}
+
+// Pack copies src (with optional transposition) into a freshly allocated
+// blocked matrix of size rows×cols (zero-padding any excess), where
+// rows×cols must cover the (possibly transposed) source.
+//
+// If transpose is true, element (r, c) of the destination is src(c, r).
+func Pack[T Scalar](src *Matrix[T], transpose bool, rows, cols, rb, cb int, layout Layout) *Blocked[T] {
+	srcRows, srcCols := src.Rows, src.Cols
+	if transpose {
+		srcRows, srcCols = srcCols, srcRows
+	}
+	if rows < srcRows || cols < srcCols {
+		panic(fmt.Sprintf("matrix: pack target %dx%d smaller than source %dx%d", rows, cols, srcRows, srcCols))
+	}
+	dst := NewBlocked[T](rows, cols, rb, cb, layout)
+	for r := 0; r < srcRows; r++ {
+		for c := 0; c < srcCols; c++ {
+			var v T
+			if transpose {
+				v = src.At(c, r)
+			} else {
+				v = src.At(r, c)
+			}
+			dst.Set(r, c, v)
+		}
+	}
+	return dst
+}
+
+// Unpack copies the top-left dstRows×dstCols corner of b into a new
+// row-major matrix (dropping padding).
+func (b *Blocked[T]) Unpack(dstRows, dstCols int) *Matrix[T] {
+	if dstRows > b.Rows || dstCols > b.Cols {
+		panic(fmt.Sprintf("matrix: unpack %dx%d exceeds blocked %dx%d", dstRows, dstCols, b.Rows, b.Cols))
+	}
+	out := New[T](dstRows, dstCols, RowMajor)
+	for r := 0; r < dstRows; r++ {
+		for c := 0; c < dstCols; c++ {
+			out.Set(r, c, b.At(r, c))
+		}
+	}
+	return out
+}
+
+// PadDim rounds n up to the next multiple of block (the paper's
+// zero-padding for sizes not divisible by the blocking factors).
+func PadDim(n, block int) int {
+	if block <= 0 {
+		panic("matrix: non-positive block in PadDim")
+	}
+	if r := n % block; r != 0 {
+		return n + block - r
+	}
+	return n
+}
+
+// CopyPad returns a rows×cols row-major copy of src with zero padding,
+// with optional transposition (dst(r,c) = src(c,r) when transpose).
+func CopyPad[T Scalar](src *Matrix[T], transpose bool, rows, cols int) *Matrix[T] {
+	srcRows, srcCols := src.Rows, src.Cols
+	if transpose {
+		srcRows, srcCols = srcCols, srcRows
+	}
+	if rows < srcRows || cols < srcCols {
+		panic(fmt.Sprintf("matrix: CopyPad target %dx%d smaller than source %dx%d", rows, cols, srcRows, srcCols))
+	}
+	out := New[T](rows, cols, RowMajor)
+	for r := 0; r < srcRows; r++ {
+		for c := 0; c < srcCols; c++ {
+			if transpose {
+				out.Set(r, c, src.At(c, r))
+			} else {
+				out.Set(r, c, src.At(r, c))
+			}
+		}
+	}
+	return out
+}
+
+// FlatRowMajor returns b's logical contents as a flat row-major slice
+// (rows*cols elements). Used when handing buffers to kernels that expect
+// a specific layout to have been applied already — for LayoutRowMajor
+// this is b.Data itself.
+func (b *Blocked[T]) FlatRowMajor() []T {
+	if b.Layout == LayoutRowMajor {
+		return b.Data
+	}
+	out := make([]T, b.Rows*b.Cols)
+	for r := 0; r < b.Rows; r++ {
+		for c := 0; c < b.Cols; c++ {
+			out[r*b.Cols+c] = b.At(r, c)
+		}
+	}
+	return out
+}

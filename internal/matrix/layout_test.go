@@ -1,0 +1,212 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLayoutString(t *testing.T) {
+	cases := map[Layout]string{LayoutRowMajor: "RM", LayoutCBL: "CBL", LayoutRBL: "RBL"}
+	for l, want := range cases {
+		if l.String() != want {
+			t.Errorf("%d.String() = %q, want %q", l, l.String(), want)
+		}
+		back, err := ParseLayout(want)
+		if err != nil || back != l {
+			t.Errorf("ParseLayout(%q) = %v, %v", want, back, err)
+		}
+	}
+	if _, err := ParseLayout("bogus"); err == nil {
+		t.Errorf("ParseLayout should reject unknown names")
+	}
+}
+
+// Every layout must be a bijection: all indices distinct and in range.
+func TestBlockedIndexBijection(t *testing.T) {
+	for _, layout := range []Layout{LayoutRowMajor, LayoutCBL, LayoutRBL} {
+		b := NewBlocked[float64](12, 8, 3, 4, layout)
+		seen := make(map[int]bool)
+		for r := 0; r < b.Rows; r++ {
+			for c := 0; c < b.Cols; c++ {
+				idx := b.Index(r, c)
+				if idx < 0 || idx >= len(b.Data) {
+					t.Fatalf("%v: index (%d,%d)=%d out of range", layout, r, c, idx)
+				}
+				if seen[idx] {
+					t.Fatalf("%v: index %d assigned twice", layout, idx)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+}
+
+// CBL: the data of each full-height column block is contiguous, stored
+// row-major inside the block (Fig. 3(b)).
+func TestCBLContiguity(t *testing.T) {
+	b := NewBlocked[float64](6, 8, 2, 4, LayoutCBL)
+	// Column block 1 covers columns 4..7; its first element (0,4) must
+	// start right after the 6*4 elements of block 0.
+	if got := b.Index(0, 4); got != 24 {
+		t.Errorf("CBL block 1 start = %d, want 24", got)
+	}
+	// Inside a block, (r, c) and (r, c+1) are adjacent.
+	if b.Index(3, 5)-b.Index(3, 4) != 1 {
+		t.Errorf("CBL not unit stride within block row")
+	}
+	// Consecutive rows within a block are Cb apart.
+	if b.Index(4, 4)-b.Index(3, 4) != 4 {
+		t.Errorf("CBL row stride within block != Cb")
+	}
+}
+
+// RBL: each Rb×Cb sub-block is contiguous row-major (Fig. 3(c)).
+func TestRBLContiguity(t *testing.T) {
+	b := NewBlocked[float64](6, 8, 2, 4, LayoutRBL)
+	// Sub-block (0,0) occupies offsets [0,8); its element (1,3) is 7.
+	if got := b.Index(1, 3); got != 7 {
+		t.Errorf("RBL (1,3) = %d, want 7", got)
+	}
+	// Sub-block (0,1) starts at 8.
+	if got := b.Index(0, 4); got != 8 {
+		t.Errorf("RBL sub-block (0,1) start = %d, want 8", got)
+	}
+	// Row block 1 (rows 2..3) starts after the 2*8 elements of row block 0.
+	if got := b.Index(2, 0); got != 16 {
+		t.Errorf("RBL row block 1 start = %d, want 16", got)
+	}
+}
+
+func TestBlockStart(t *testing.T) {
+	b := NewBlocked[float64](8, 8, 2, 4, LayoutRBL)
+	if b.BlockStart(1, 1) != b.Index(2, 4) {
+		t.Errorf("BlockStart(1,1) mismatch")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	for _, layout := range []Layout{LayoutRowMajor, LayoutCBL, LayoutRBL} {
+		src := New[float64](5, 7, RowMajor)
+		src.FillSequential()
+		// Pad 5x7 to 6x8 with blocks 3x4.
+		packed := Pack(src, false, 6, 8, 3, 4, layout)
+		back := packed.Unpack(5, 7)
+		if MaxRelDiff(src, back) != 0 {
+			t.Errorf("%v: pack/unpack round trip differs", layout)
+		}
+		// Padding must be zero.
+		for c := 0; c < 8; c++ {
+			if packed.At(5, c) != 0 {
+				t.Errorf("%v: padding row not zero at col %d", layout, c)
+			}
+		}
+		for r := 0; r < 6; r++ {
+			if packed.At(r, 7) != 0 {
+				t.Errorf("%v: padding col not zero at row %d", layout, r)
+			}
+		}
+	}
+}
+
+func TestPackTranspose(t *testing.T) {
+	src := New[float64](4, 6, RowMajor)
+	src.FillSequential()
+	// Packing the transpose: destination is 6x4 padded to 6x4 exactly.
+	packed := Pack(src, true, 6, 4, 3, 2, LayoutCBL)
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 4; c++ {
+			if packed.At(r, c) != src.At(c, r) {
+				t.Fatalf("transposed pack mismatch at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestPackFromColMajorSource(t *testing.T) {
+	src := New[float64](4, 4, ColMajor)
+	src.FillSequential()
+	packed := Pack(src, false, 4, 4, 2, 2, LayoutRBL)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if packed.At(r, c) != src.At(r, c) {
+				t.Fatalf("col-major pack mismatch at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestPadDim(t *testing.T) {
+	cases := []struct{ n, b, want int }{
+		{0, 4, 0}, {1, 4, 4}, {4, 4, 4}, {5, 4, 8}, {100, 48, 144},
+	}
+	for _, c := range cases {
+		if got := PadDim(c.n, c.b); got != c.want {
+			t.Errorf("PadDim(%d,%d) = %d, want %d", c.n, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCopyPad(t *testing.T) {
+	src := New[float64](3, 3, RowMajor)
+	src.FillSequential()
+	out := CopyPad(src, false, 4, 5)
+	if out.At(2, 2) != src.At(2, 2) || out.At(3, 4) != 0 {
+		t.Errorf("CopyPad content wrong")
+	}
+	tr := CopyPad(src, true, 3, 3)
+	if tr.At(0, 2) != src.At(2, 0) {
+		t.Errorf("CopyPad transpose wrong")
+	}
+}
+
+func TestFlatRowMajor(t *testing.T) {
+	src := New[float64](4, 6, RowMajor)
+	src.FillSequential()
+	for _, layout := range []Layout{LayoutRowMajor, LayoutCBL, LayoutRBL} {
+		packed := Pack(src, false, 4, 6, 2, 3, layout)
+		flat := packed.FlatRowMajor()
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 6; c++ {
+				if flat[r*6+c] != src.At(r, c) {
+					t.Fatalf("%v: FlatRowMajor mismatch at (%d,%d)", layout, r, c)
+				}
+			}
+		}
+	}
+	// Row-major must return the backing slice, not a copy.
+	rm := Pack(src, false, 4, 6, 2, 3, LayoutRowMajor)
+	if &rm.FlatRowMajor()[0] != &rm.Data[0] {
+		t.Errorf("FlatRowMajor should alias Data for row-major")
+	}
+}
+
+// Property: for random shapes and block factors, packing then unpacking
+// recovers the source exactly, for every layout.
+func TestPackRoundTripProperty(t *testing.T) {
+	f := func(rows, cols, rb, cb uint8, transpose bool, which uint8, seed int64) bool {
+		r := int(rows%20) + 1
+		c := int(cols%20) + 1
+		br := int(rb%6) + 1
+		bc := int(cb%6) + 1
+		layout := []Layout{LayoutRowMajor, LayoutCBL, LayoutRBL}[which%3]
+		src := New[float32](r, c, RowMajor)
+		src.FillRandom(rand.New(rand.NewSource(seed)))
+		dr, dc := r, c
+		if transpose {
+			dr, dc = c, r
+		}
+		pr := PadDim(dr, br)
+		pc := PadDim(dc, bc)
+		packed := Pack(src, transpose, pr, pc, br, bc, layout)
+		back := packed.Unpack(dr, dc)
+		want := src
+		if transpose {
+			want = src.Transpose()
+		}
+		return MaxRelDiff(want, back) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

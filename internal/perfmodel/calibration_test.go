@@ -1,0 +1,101 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+)
+
+// paperKernels returns the paper's Table II fastest-kernel parameter
+// sets together with the reported maximum GFlop/s. These are the
+// calibration anchors: the model must put each within tolerance of the
+// paper's measurement on its device.
+func paperKernels() []struct {
+	Dev  *device.Spec
+	P    codegen.Params
+	N    int
+	Want float64
+} {
+	return []struct {
+		Dev  *device.Spec
+		P    codegen.Params
+		N    int
+		Want float64
+	}{
+		{device.Tahiti(), codegen.Params{Precision: matrix.Double, Algorithm: codegen.BA,
+			Mwg: 96, Nwg: 32, Kwg: 48, MdimC: 16, NdimC: 16, MdimA: 16, NdimB: 16,
+			Kwi: 2, VectorWidth: 2, SharedB: true,
+			LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL}, 4032, 863},
+		{device.Tahiti(), codegen.Params{Precision: matrix.Single, Algorithm: codegen.BA,
+			Mwg: 96, Nwg: 96, Kwg: 16, MdimC: 16, NdimC: 16, MdimA: 16, NdimB: 16,
+			Kwi: 2, VectorWidth: 1, SharedA: true, SharedB: true,
+			LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL}, 4032, 3047},
+		{device.Cayman(), codegen.Params{Precision: matrix.Double, Algorithm: codegen.BA,
+			Mwg: 64, Nwg: 32, Kwg: 48, MdimC: 16, NdimC: 8, MdimA: 16, NdimB: 16,
+			Kwi: 24, VectorWidth: 2,
+			LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL}, 4032, 580},
+		{device.Cayman(), codegen.Params{Precision: matrix.Single, Algorithm: codegen.PL,
+			Mwg: 128, Nwg: 64, Kwg: 96, MdimC: 16, NdimC: 8, MdimA: 16, NdimB: 8,
+			Kwi: 24, VectorWidth: 4, StrideN: true,
+			LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL}, 4096, 2167},
+		{device.Kepler(), codegen.Params{Precision: matrix.Double, Algorithm: codegen.BA,
+			Mwg: 32, Nwg: 64, Kwg: 8, MdimC: 16, NdimC: 16, MdimA: 32, NdimB: 32,
+			Kwi: 4, VectorWidth: 1, StrideN: true, SharedA: true, SharedB: true,
+			LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL}, 4096, 128},
+		{device.Kepler(), codegen.Params{Precision: matrix.Single, Algorithm: codegen.PL,
+			Mwg: 64, Nwg: 64, Kwg: 8, MdimC: 8, NdimC: 16, MdimA: 32, NdimB: 32,
+			Kwi: 8, VectorWidth: 2, StrideM: true, SharedA: true, SharedB: true,
+			LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL}, 4096, 1440},
+		{device.Fermi(), codegen.Params{Precision: matrix.Double, Algorithm: codegen.PL,
+			Mwg: 64, Nwg: 64, Kwg: 8, MdimC: 16, NdimC: 16, MdimA: 64, NdimB: 64,
+			Kwi: 2, VectorWidth: 1, StrideN: true, SharedA: true, SharedB: true,
+			LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutRBL}, 4096, 370},
+		{device.Fermi(), codegen.Params{Precision: matrix.Single, Algorithm: codegen.BA,
+			Mwg: 64, Nwg: 64, Kwg: 16, MdimC: 8, NdimC: 16, MdimA: 32, NdimB: 8,
+			Kwi: 16, VectorWidth: 2, StrideM: true, StrideN: true, SharedA: true, SharedB: true,
+			LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL}, 4096, 896},
+		{device.SandyBridge(), codegen.Params{Precision: matrix.Double, Algorithm: codegen.DB,
+			Mwg: 64, Nwg: 32, Kwg: 64, MdimC: 16, NdimC: 4, MdimA: 16, NdimB: 16,
+			Kwi: 4, VectorWidth: 4, StrideN: true, SharedB: true,
+			LayoutA: matrix.LayoutRBL, LayoutB: matrix.LayoutRBL}, 1536, 64},
+		{device.SandyBridge(), codegen.Params{Precision: matrix.Single, Algorithm: codegen.BA,
+			Mwg: 64, Nwg: 64, Kwg: 64, MdimC: 8, NdimC: 8, MdimA: 8, NdimB: 8,
+			Kwi: 8, VectorWidth: 8, StrideM: true, SharedB: true,
+			LayoutA: matrix.LayoutRBL, LayoutB: matrix.LayoutRBL}, 1536, 140},
+		{device.Bulldozer(), codegen.Params{Precision: matrix.Double, Algorithm: codegen.DB,
+			Mwg: 48, Nwg: 32, Kwg: 96, MdimC: 24, NdimC: 4, MdimA: 24, NdimB: 2,
+			Kwi: 16, VectorWidth: 2, StrideM: true, SharedB: true,
+			LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutRBL}, 1536, 37},
+		{device.Bulldozer(), codegen.Params{Precision: matrix.Single, Algorithm: codegen.BA,
+			Mwg: 32, Nwg: 48, Kwg: 192, MdimC: 8, NdimC: 4, MdimA: 8, NdimB: 8,
+			Kwi: 4, VectorWidth: 4, StrideM: true,
+			LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL}, 1536, 87},
+	}
+}
+
+// TestCalibrationAgainstTableII checks that the modeled performance of
+// the paper's own fastest kernels lands near the paper's reported
+// numbers on every device. Tolerance ±20%: the tuner may find slightly
+// different argmax configurations, but the anchor kernels must be in
+// the right band for every figure's shape to hold.
+func TestCalibrationAgainstTableII(t *testing.T) {
+	for _, c := range paperKernels() {
+		c := c
+		name := c.Dev.ID + "-" + c.P.Precision.GEMMName()
+		t.Run(name, func(t *testing.T) {
+			gf, err := KernelGFlops(c.Dev, &c.P, c.N, c.N, c.N)
+			if err != nil {
+				t.Fatalf("model rejected paper kernel: %v", err)
+			}
+			bd, _ := KernelTime(c.Dev, &c.P, c.N, c.N, c.N)
+			t.Logf("modeled %.0f GFlop/s, paper %.0f (ratio %.2f); comp=%.4fs mem=%.4fs lds=%.4fs bar=%.4fs overlap=%.2f wg/cu=%d alu=%.2f spill=%v",
+				gf, c.Want, gf/c.Want, bd.Compute, bd.GlobalMem, bd.LocalMem, bd.Barrier,
+				bd.Overlap, bd.WGPerCU, bd.ALUEff, bd.RegSpill)
+			if ratio := gf / c.Want; ratio < 0.90 || ratio > 1.10 {
+				t.Errorf("modeled %.0f GFlop/s vs paper %.0f (ratio %.2f, want within ±10%%)", gf, c.Want, ratio)
+			}
+		})
+	}
+}

@@ -1,0 +1,269 @@
+package perfmodel
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+)
+
+func anchor(devID string, p matrix.Precision) (d *device.Spec, cfg codegen.Params, n int) {
+	for _, c := range paperKernels() {
+		if c.Dev.ID == devID && c.P.Precision == p {
+			return c.Dev, c.P, c.N
+		}
+	}
+	panic("no anchor for " + devID)
+}
+
+func gflops(t *testing.T, d *device.Spec, p *codegen.Params, n int) float64 {
+	t.Helper()
+	gf, err := KernelGFlops(d, p, n, n, n)
+	if err != nil {
+		t.Fatalf("KernelGFlops(%s, %s, %d): %v", d.ID, p.Name(), n, err)
+	}
+	return gf
+}
+
+// Performance must ramp up with problem size and plateau (Fig. 7 shape).
+func TestPerformanceRampsWithSize(t *testing.T) {
+	d, p, _ := anchor("tahiti", matrix.Single)
+	small := gflops(t, d, &p, 192)
+	mid := gflops(t, d, &p, 1152)
+	big := gflops(t, d, &p, 4032)
+	huge := gflops(t, d, &p, 6048)
+	if !(small < mid && mid < big) {
+		t.Errorf("performance must grow with size: %f %f %f", small, mid, big)
+	}
+	if math.Abs(huge-big)/big > 0.15 {
+		t.Errorf("performance should plateau for large sizes: %f vs %f", big, huge)
+	}
+	if small > 0.5*big {
+		t.Errorf("small sizes should be well below peak (tail + launch overhead): %f vs %f", small, big)
+	}
+}
+
+// Block-major layouts must beat row-major on every device, with a big
+// effect on AMD GPUs and a small one elsewhere (paper §IV-A).
+func TestBlockMajorLayoutAdvantage(t *testing.T) {
+	for _, devID := range []string{"tahiti", "cayman", "kepler", "fermi", "sandybridge", "bulldozer"} {
+		d, p, n := anchor(devID, matrix.Double)
+		cbl := gflops(t, d, &p, n)
+		rm := p
+		rm.LayoutA, rm.LayoutB = matrix.LayoutRowMajor, matrix.LayoutRowMajor
+		rmGF := gflops(t, d, &rm, n)
+		if rmGF >= cbl {
+			t.Errorf("%s: row-major (%f) must not beat block-major (%f)", devID, rmGF, cbl)
+		}
+		ratio := rmGF / cbl
+		if devID == "tahiti" || devID == "cayman" {
+			if ratio > 0.99 {
+				t.Errorf("%s: layout effect should be visible on AMD GPUs (ratio %.3f)", devID, ratio)
+			}
+		}
+		if d.Kind == device.CPU && ratio < 0.7 {
+			t.Errorf("%s: layout effect should be small on CPUs (ratio %.3f)", devID, ratio)
+		}
+	}
+}
+
+// The paper: Tahiti row-major DGEMM reaches 837 GFlop/s but sizes that
+// are multiples of 2048 deteriorate drastically from bank conflicts.
+// The cliff only bites when the buffer stride stays a power of two,
+// i.e. the kernel's blocking factors divide 2048 (padding otherwise
+// breaks the stride).
+func TestBankConflictCliffAtPowerOfTwo(t *testing.T) {
+	d, p, _ := anchor("tahiti", matrix.Double)
+	p.LayoutA, p.LayoutB = matrix.LayoutRowMajor, matrix.LayoutRowMajor
+	p.Mwg, p.Nwg, p.Kwg = 64, 32, 32 // power-of-two blocking
+	okSize := gflops(t, d, &p, 1952) // pads to 1984: not a multiple of 512
+	conflict := gflops(t, d, &p, 2048)
+	if conflict > 0.6*okSize {
+		t.Errorf("N=2048 row-major should collapse: %.0f vs %.0f at N=1952", conflict, okSize)
+	}
+	// Block-major is immune.
+	p2 := p
+	p2.LayoutA, p2.LayoutB = matrix.LayoutCBL, matrix.LayoutCBL
+	immuneOK := gflops(t, d, &p2, 1952)
+	immuneConflict := gflops(t, d, &p2, 2048)
+	if immuneConflict < 0.9*immuneOK {
+		t.Errorf("block-major must be immune to the 2048 cliff: %.0f vs %.0f", immuneConflict, immuneOK)
+	}
+}
+
+// Paper §IV-A: local memory matters on Kepler. Toggling LDS off the
+// paper's best kernel (without re-tuning the other parameters) must
+// lose clearly; the re-tuned comparison (paper: 1440 → 1150) lives in
+// the core package's ablation test, since it needs a search.
+func TestKeplerLocalMemoryAblation(t *testing.T) {
+	d, p, n := anchor("kepler", matrix.Single)
+	withLDS := gflops(t, d, &p, n)
+	noLDS := p
+	noLDS.Algorithm = codegen.BA // PL without LDS is a different beast
+	noLDS.SharedA, noLDS.SharedB = false, false
+	noLDS.StrideM, noLDS.StrideN = true, true // keep direct loads coalesced
+	without := gflops(t, d, &noLDS, n)
+	ratio := without / withLDS
+	if ratio > 0.92 {
+		t.Errorf("Kepler SGEMM without LDS should lose clearly (ratio %.2f)", ratio)
+	}
+	if ratio < 0.2 {
+		t.Errorf("Kepler SGEMM without LDS should not collapse entirely (ratio %.2f)", ratio)
+	}
+}
+
+// Paper §IV-A: "The Cayman runs slower when the local memory is
+// utilized, probably because the cost for barrier synchronizations is
+// too large."
+func TestCaymanLocalMemoryHurts(t *testing.T) {
+	d, p, n := anchor("cayman", matrix.Single)
+	if p.UsesLocalMemory() {
+		t.Fatal("anchor premise: Cayman best kernel avoids local memory")
+	}
+	noLDS := gflops(t, d, &p, n)
+	lds := p
+	lds.Algorithm = codegen.BA
+	lds.SharedA, lds.SharedB = true, true
+	lds.Kwg = 16 // keep panels within 32 KB local memory
+	lds.Kwi = 2
+	withLDS := gflops(t, d, &lds, n)
+	if withLDS >= noLDS {
+		t.Errorf("Cayman with LDS (%f) must be slower than without (%f)", withLDS, noLDS)
+	}
+}
+
+// On CPUs no prominent difference from local memory usage (paper §IV-A).
+func TestCPULocalMemoryNeutral(t *testing.T) {
+	d, p, n := anchor("sandybridge", matrix.Single)
+	base := gflops(t, d, &p, n)
+	flip := p
+	flip.SharedB = !flip.SharedB
+	other := gflops(t, d, &flip, n)
+	if r := other / base; r < 0.8 || r > 1.25 {
+		t.Errorf("CPU local-memory effect should be mild, got ratio %.2f", r)
+	}
+}
+
+// PL DGEMM on Bulldozer must be rejected (paper: always fails).
+func TestBulldozerPLDoubleRejected(t *testing.T) {
+	d := device.Bulldozer()
+	_, p, n := anchor("tahiti", matrix.Double)
+	p.Algorithm = codegen.PL
+	p.MdimC, p.NdimC = 16, 16 // fits CPU WG limits
+	if _, err := KernelGFlops(d, &p, n, n, n); err == nil {
+		t.Error("PL DGEMM on Bulldozer must fail")
+	}
+}
+
+// The vector width should matter on CPUs (AVX) and Cayman (VLIW) but
+// not on scalar GCN/NVIDIA.
+func TestVectorWidthSensitivity(t *testing.T) {
+	d, p, n := anchor("sandybridge", matrix.Single) // vw=8 anchor
+	wide := gflops(t, d, &p, n)
+	narrow := p
+	narrow.VectorWidth = 1
+	nGF := gflops(t, d, &narrow, n)
+	if nGF > 0.5*wide {
+		t.Errorf("scalar kernels on AVX CPU should be much slower: %.0f vs %.0f", nGF, wide)
+	}
+
+	dT, pT, nT := anchor("tahiti", matrix.Single) // vw=1 anchor
+	s1 := gflops(t, dT, &pT, nT)
+	pT.VectorWidth = 2
+	pT.Kwi = 2
+	s2 := gflops(t, dT, &pT, nT)
+	if r := s2 / s1; r < 0.9 || r > 1.1 {
+		t.Errorf("vector width should be nearly neutral on GCN: ratio %.2f", r)
+	}
+}
+
+// Larger work-item tiles raise arithmetic intensity; tiny tiles must be
+// memory-bound and slower.
+func TestWorkItemBlockingMatters(t *testing.T) {
+	d, p, n := anchor("tahiti", matrix.Double)
+	big := gflops(t, d, &p, n)
+	tiny := p
+	tiny.Mwg, tiny.Nwg = 32, 32 // Mwi=Nwi=2
+	tiny.MdimA, tiny.NdimB = 16, 16
+	tinyGF := gflops(t, d, &tiny, n)
+	if tinyGF > 0.6*big {
+		t.Errorf("2x2 work-item tiles should be far slower: %.0f vs %.0f", tinyGF, big)
+	}
+}
+
+func TestKernelTimeErrors(t *testing.T) {
+	d, p, _ := anchor("tahiti", matrix.Double)
+	if _, err := KernelTime(d, &p, 0, 10, 10); err == nil {
+		t.Error("non-positive size must fail")
+	}
+	bad := p
+	bad.Mwg = 7 // not divisible by MdimC
+	if _, err := KernelTime(d, &bad, 100, 100, 100); err == nil {
+		t.Error("invalid params must fail")
+	}
+}
+
+func TestErrUnsupportedProblemSentinel(t *testing.T) {
+	// Exercised indirectly: the sentinel is exported for the tuner.
+	if ErrUnsupportedProblem == nil || !errors.Is(ErrUnsupportedProblem, ErrUnsupportedProblem) {
+		t.Error("sentinel must exist")
+	}
+}
+
+// Breakdown totals must be internally consistent.
+func TestBreakdownConsistency(t *testing.T) {
+	d, p, n := anchor("fermi", matrix.Single)
+	bd, err := KernelTime(d, &p, n, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Total <= 0 || bd.Compute <= 0 || bd.GlobalMem <= 0 {
+		t.Error("breakdown components must be positive")
+	}
+	if bd.Total < bd.Launch {
+		t.Error("total must include launch overhead")
+	}
+	if bd.Overlap < 0 || bd.Overlap > 1 || bd.BusyFrac <= 0 || bd.BusyFrac > 1 {
+		t.Errorf("diagnostic fractions out of range: overlap=%f busy=%f", bd.Overlap, bd.BusyFrac)
+	}
+	if bd.PaddedM%p.Mwg != 0 || bd.PaddedN%p.Nwg != 0 || bd.PaddedK%p.Kwg != 0 {
+		t.Error("padded dimensions must be multiples of blocking factors")
+	}
+}
+
+// Efficiency must never exceed the physically meaningful bound
+// (boost × 1.05 headroom for the calibrated model).
+func TestEfficiencyBounded(t *testing.T) {
+	for _, c := range paperKernels() {
+		gf, err := KernelGFlops(c.Dev, &c.P, 8064, 8064, 8064)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Dev.ID, err)
+		}
+		bound := c.Dev.PeakGFlops(c.P.Precision) * c.Dev.BoostFactor * 1.05
+		if gf > bound {
+			t.Errorf("%s %s: modeled %.0f exceeds bound %.0f", c.Dev.ID, c.P.Precision.GEMMName(), gf, bound)
+		}
+	}
+}
+
+// Rectangular problems must work and respect padding.
+func TestRectangularProblems(t *testing.T) {
+	d, p, _ := anchor("tahiti", matrix.Single)
+	bd, err := KernelTime(d, &p, 100, 3000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.PaddedM < 100 || bd.PaddedN < 3000 || bd.PaddedK < 500 {
+		t.Error("padding must cover the problem")
+	}
+	// K-shallow problems have lower arithmetic intensity per C element
+	// and must not beat a deep problem of the same M×N.
+	shallow, _ := KernelGFlops(d, &p, 3840, 3840, 96)
+	deep, _ := KernelGFlops(d, &p, 3840, 3840, 3840)
+	if shallow > deep {
+		t.Errorf("K-shallow problem (%f) should not beat deep (%f)", shallow, deep)
+	}
+}

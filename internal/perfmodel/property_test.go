@@ -1,0 +1,123 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+)
+
+// randParams draws a parameter set from a small valid lattice.
+func randParams(mwiS, nwiS, kwgS, kwiS, vwS, algS, shS, stS, layS uint8, prec matrix.Precision) codegen.Params {
+	p := codegen.Params{
+		Precision: prec,
+		Algorithm: codegen.Algorithms[algS%3],
+		MdimC:     8, NdimC: 8,
+		MdimA: 8, NdimB: 8,
+		SharedA: shS&1 != 0,
+		SharedB: shS&2 != 0,
+		StrideM: stS&1 != 0,
+		StrideN: stS&2 != 0,
+		LayoutA: []matrix.Layout{matrix.LayoutRowMajor, matrix.LayoutCBL, matrix.LayoutRBL}[layS%3],
+		LayoutB: []matrix.Layout{matrix.LayoutCBL, matrix.LayoutRBL}[layS%2],
+	}
+	p.Mwg = 8 * (int(mwiS%8) + 1)
+	p.Nwg = 8 * (int(nwiS%8) + 1)
+	p.Kwg = []int{8, 16, 32, 64}[kwgS%4]
+	p.Kwi = []int{1, 2, 4, 8}[kwiS%4]
+	p.VectorWidth = []int{1, 2, 4}[vwS%3]
+	if p.Algorithm == codegen.DB && !p.UsesLocalMemory() {
+		p.SharedB = true
+	}
+	return p
+}
+
+// Property: every valid kernel yields a positive, finite time with
+// consistent breakdown components on every device.
+func TestModelTotalsPositiveProperty(t *testing.T) {
+	devs := device.All()
+	f := func(mwiS, nwiS, kwgS, kwiS, vwS, algS, shS, stS, layS, devS uint8, dbl bool) bool {
+		prec := matrix.Single
+		if dbl {
+			prec = matrix.Double
+		}
+		p := randParams(mwiS, nwiS, kwgS, kwiS, vwS, algS, shS, stS, layS, prec)
+		d := devs[int(devS)%len(devs)]
+		if !p.ValidFor(d) {
+			return true
+		}
+		bd, err := KernelTime(d, &p, 1024, 1024, 1024)
+		if err != nil {
+			return false
+		}
+		if !(bd.Total > 0) || !(bd.Compute > 0) || !(bd.GlobalMem > 0) {
+			return false
+		}
+		if bd.Total < bd.Launch {
+			return false
+		}
+		if bd.ALUEff <= 0 || bd.ALUEff > 1.001 {
+			return false
+		}
+		// Efficiency never beyond physical peak (with boost).
+		gf := 2.0 * 1024 * 1024 * 1024 / bd.Total / 1e9
+		return gf <= d.PeakGFlops(prec)*d.BoostFactor*1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: time grows monotonically in each problem dimension.
+func TestModelMonotoneInSizeProperty(t *testing.T) {
+	d := device.Tahiti()
+	f := func(mwiS, nwiS, kwgS, kwiS, vwS, algS, shS, stS, layS uint8) bool {
+		p := randParams(mwiS, nwiS, kwgS, kwiS, vwS, algS, shS, stS, layS, matrix.Double)
+		if !p.ValidFor(d) {
+			return true
+		}
+		base, err := KernelTime(d, &p, 1024, 1024, 1024)
+		if err != nil {
+			return false
+		}
+		for _, dims := range [][3]int{{2048, 1024, 1024}, {1024, 2048, 1024}, {1024, 1024, 2048}} {
+			bigger, err := KernelTime(d, &p, dims[0], dims[1], dims[2])
+			if err != nil {
+				return false
+			}
+			if bigger.Total < base.Total*0.999 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the model is deterministic.
+func TestModelDeterministicProperty(t *testing.T) {
+	d := device.Fermi()
+	f := func(mwiS, nwiS, kwgS, kwiS, vwS, algS, shS, stS, layS uint8, n uint16) bool {
+		p := randParams(mwiS, nwiS, kwgS, kwiS, vwS, algS, shS, stS, layS, matrix.Single)
+		if !p.ValidFor(d) {
+			return true
+		}
+		size := int(n%4096) + 64
+		a, errA := KernelTime(d, &p, size, size, size)
+		b, errB := KernelTime(d, &p, size, size, size)
+		if (errA == nil) != (errB == nil) {
+			return false
+		}
+		if errA != nil {
+			return true
+		}
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+package tunedb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+	"oclgemm/internal/perfmodel"
+)
+
+func TestPaperTableIIComplete(t *testing.T) {
+	db := PaperTableII()
+	if len(db.Records) != 12 {
+		t.Fatalf("Table II database has %d records, want 12", len(db.Records))
+	}
+	for _, id := range device.IDs() {
+		for _, prec := range []matrix.Precision{matrix.Double, matrix.Single} {
+			rec, ok := db.Get(id, prec)
+			if !ok {
+				t.Errorf("missing record for %s/%s", id, prec)
+				continue
+			}
+			p, err := rec.Params()
+			if err != nil {
+				t.Errorf("%s/%s: invalid params: %v", id, prec, err)
+				continue
+			}
+			d, _ := device.ByID(id)
+			if err := p.CheckDevice(d); err != nil {
+				t.Errorf("%s/%s: params rejected by device: %v", id, prec, err)
+			}
+			if rec.Source != "paper-table2" || rec.GFlops <= 0 {
+				t.Errorf("%s/%s: metadata wrong: %+v", id, prec, rec)
+			}
+		}
+	}
+}
+
+// The stored defaults must be usable directly with the model.
+func TestPaperRecordsRunnable(t *testing.T) {
+	db := PaperTableII()
+	rec, _ := db.Get("tahiti", matrix.Single)
+	p, err := rec.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := device.ByID("tahiti")
+	gf, err := perfmodel.KernelGFlops(d, &p, rec.BestN, rec.BestN, rec.BestN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := gf / rec.GFlops; r < 0.9 || r > 1.1 {
+		t.Errorf("modeled %0.f vs recorded %0.f (ratio %.2f)", gf, rec.GFlops, r)
+	}
+}
+
+func TestRoundTripParams(t *testing.T) {
+	db := PaperTableII()
+	for _, rec := range db.Records {
+		p, err := rec.Params()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := FromParams(rec.Device, p, rec.GFlops, rec.BestN, rec.Source)
+		if back != rec {
+			t.Errorf("round trip changed record:\n%+v\n%+v", rec, back)
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tune.json")
+	db := PaperTableII()
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(db.Records) {
+		t.Fatalf("loaded %d records, want %d", len(back.Records), len(db.Records))
+	}
+	for i := range db.Records {
+		if back.Records[i] != db.Records[i] {
+			t.Errorf("record %d changed across save/load", i)
+		}
+	}
+}
+
+func TestPutReplacesAndSorts(t *testing.T) {
+	db := &DB{}
+	rec, _ := PaperTableII().Get("fermi", matrix.Double)
+	db.Put(rec)
+	rec.GFlops = 999
+	db.Put(rec)
+	if len(db.Records) != 1 || db.Records[0].GFlops != 999 {
+		t.Fatalf("Put must replace: %+v", db.Records)
+	}
+	other, _ := PaperTableII().Get("cayman", matrix.Single)
+	db.Put(other)
+	if db.Records[0].Device != "cayman" {
+		t.Error("records must be sorted by device")
+	}
+}
+
+func TestLoadRejectsBadData(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("malformed JSON must fail")
+	}
+
+	if err := os.WriteFile(bad, []byte(`{"records":[{"device":"tahiti","precision":"double","algorithm":"BA","mwg":7,"nwg":8,"kwg":4,"mdimc":4,"ndimc":4,"kwi":2,"vw":1,"layout_a":"CBL","layout_b":"CBL"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("invalid kernel params must fail validation on load")
+	}
+
+	if err := os.WriteFile(bad, []byte(`{"records":[{"device":"nonexistent","precision":"double","algorithm":"BA","mwg":8,"nwg":8,"kwg":4,"mdimc":4,"ndimc":4,"kwi":2,"vw":1,"layout_a":"CBL","layout_b":"CBL"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("unknown device must fail on load")
+	}
+
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestGetMiss(t *testing.T) {
+	db := &DB{}
+	if _, ok := db.Get("tahiti", matrix.Double); ok {
+		t.Error("empty DB must miss")
+	}
+}

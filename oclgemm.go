@@ -1,0 +1,178 @@
+// Package oclgemm is an auto-tuning system for fast matrix
+// multiplication (GEMM) kernels in OpenCL, reproducing Matsumoto,
+// Nakasato and Sedukhin, "Performance Tuning of Matrix Multiplication
+// in OpenCL on Different GPUs and CPUs" (SC Companion 2012).
+//
+// The system consists of a GEMM kernel code generator (parameterized by
+// two-level blocking factors, work-group shape, vector width, stride
+// modes, local-memory staging, block-major data layouts, and three
+// algorithm schedules), a heuristic search engine implementing the
+// paper's three-stage selection procedure, and full GEMM routines that
+// copy/transpose/re-lay-out operands before running the tuned
+// C ← α·Aᵀ·B + β·C kernel.
+//
+// Because this repository targets no physical GPUs, kernels execute on
+// a simulated OpenCL runtime (functional, with exact work-group/barrier
+// semantics) and are timed by a calibrated analytic performance model
+// of the paper's six processors; see DESIGN.md for the substitution
+// notes. Everything needed to regenerate the paper's Tables I-III and
+// Figures 7-11 ships in this module (cmd/gemmbench).
+//
+// # Quick start
+//
+//	dev, _ := oclgemm.DeviceByID("tahiti")
+//	res, _ := oclgemm.Tune(oclgemm.TuneOptions{
+//		Device: dev, Precision: oclgemm.Single, MaxCandidates: 4000,
+//	})
+//	g, _ := oclgemm.NewGEMM(dev, res.Params)
+//	a := oclgemm.NewMatrix[float32](m, k, oclgemm.ColMajor)
+//	b := oclgemm.NewMatrix[float32](k, n, oclgemm.ColMajor)
+//	c := oclgemm.NewMatrix[float32](m, n, oclgemm.ColMajor)
+//	_ = g.Run(oclgemm.NoTrans, oclgemm.NoTrans, 1, a, b, 0, c)
+package oclgemm
+
+import (
+	"oclgemm/internal/blas"
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/core"
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+	"oclgemm/internal/perfmodel"
+)
+
+// Precision selects single (SGEMM) or double (DGEMM) precision.
+type Precision = matrix.Precision
+
+// Precision values.
+const (
+	Single = matrix.Single
+	Double = matrix.Double
+)
+
+// Order is the storage order of a plain matrix.
+type Order = matrix.Order
+
+// Storage orders.
+const (
+	RowMajor = matrix.RowMajor
+	ColMajor = matrix.ColMajor
+)
+
+// Layout is a kernel operand data layout (row-major, CBL or RBL).
+type Layout = matrix.Layout
+
+// Operand layouts (paper §III-D).
+const (
+	LayoutRowMajor = matrix.LayoutRowMajor
+	LayoutCBL      = matrix.LayoutCBL
+	LayoutRBL      = matrix.LayoutRBL
+)
+
+// Scalar constrains matrix element types.
+type Scalar = matrix.Scalar
+
+// Matrix is a dense matrix of float32 or float64.
+type Matrix[T Scalar] = matrix.Matrix[T]
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix[T Scalar](rows, cols int, order Order) *Matrix[T] {
+	return matrix.New[T](rows, cols, order)
+}
+
+// Transpose selects op(X) for a GEMM operand.
+type Transpose = blas.Transpose
+
+// Transpose values.
+const (
+	NoTrans = blas.NoTrans
+	Trans   = blas.Trans
+)
+
+// Algorithm is one of the paper's three GEMM schedules.
+type Algorithm = codegen.Algorithm
+
+// Algorithms (§III-E).
+const (
+	BA = codegen.BA
+	PL = codegen.PL
+	DB = codegen.DB
+)
+
+// Params is a full kernel-generator parameter set (§III).
+type Params = codegen.Params
+
+// Device describes one of the catalogued processors (Table I).
+type Device = device.Spec
+
+// Devices returns the six processors of Table I.
+func Devices() []*Device { return device.All() }
+
+// DeviceByID looks a device up by its short identifier: "tahiti",
+// "cayman", "kepler", "fermi", "sandybridge" or "bulldozer".
+func DeviceByID(id string) (*Device, error) { return device.ByID(id) }
+
+// GenerateSource emits the OpenCL C kernel for a parameter set.
+func GenerateSource(p Params) (string, error) { return p.GenerateSource() }
+
+// KernelGFlops returns the modeled kernel-only performance of a
+// parameter set on a device for an m×n×k problem.
+func KernelGFlops(d *Device, p Params, m, n, k int) (float64, error) {
+	return perfmodel.KernelGFlops(d, &p, m, n, k)
+}
+
+// TuneOptions configures a tuning run.
+type TuneOptions struct {
+	// Device to tune for (required).
+	Device *Device
+	// Precision of the kernels (Single or Double).
+	Precision Precision
+	// MaxCandidates caps the stage-1 sweep (0 = 25000, the paper's
+	// "tens of thousands of variants" scale; negative = unlimited).
+	MaxCandidates int
+	// MaxSize is the largest stage-2 problem size (0 = 8192).
+	MaxSize int
+}
+
+// CurvePoint is one (N, GFlop/s) sample of a tuned kernel.
+type CurvePoint = core.SizedPerf
+
+// TuneResult is the outcome of a tuning run.
+type TuneResult struct {
+	// Params is the fastest kernel's parameter set (Table II row).
+	Params Params
+	// GFlops is the maximum modeled performance across sizes.
+	GFlops float64
+	// BestN is the problem size where GFlops was observed.
+	BestN int
+	// Curve is performance across problem sizes (Fig. 7 line).
+	Curve []CurvePoint
+	// Candidates counts the stage-1 kernel variants measured; Rejected
+	// counts variants that failed generation or device checks.
+	Candidates, Rejected int
+}
+
+// Tune runs the paper's three-stage search (§III-F) and returns the
+// fastest kernel for the device and precision.
+func Tune(opts TuneOptions) (*TuneResult, error) {
+	tn, err := core.New(core.Options{
+		Device:        opts.Device,
+		Precision:     opts.Precision,
+		MaxCandidates: opts.MaxCandidates,
+		MaxSize:       opts.MaxSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sel, err := tn.Search()
+	if err != nil {
+		return nil, err
+	}
+	return &TuneResult{
+		Params:     sel.Best.Params,
+		GFlops:     sel.Best.Best,
+		BestN:      sel.Best.BestN,
+		Curve:      sel.Best.Curve,
+		Candidates: sel.Stats.Enumerated,
+		Rejected:   sel.Stats.Rejected,
+	}, nil
+}

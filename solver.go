@@ -1,0 +1,102 @@
+package oclgemm
+
+import (
+	"oclgemm/internal/level3"
+)
+
+// Level-3 BLAS selector types, re-exported from the solver layer.
+type (
+	// Uplo selects the stored triangle of a symmetric or triangular
+	// matrix.
+	Uplo = level3.Uplo
+	// Side selects the multiplication side for SYMM/TRMM/TRSM.
+	Side = level3.Side
+	// Diag marks a triangular matrix as unit or non-unit diagonal.
+	Diag = level3.Diag
+)
+
+// Level-3 selector values.
+const (
+	Lower   = level3.Lower
+	Upper   = level3.Upper
+	Left    = level3.Left
+	Right   = level3.Right
+	NonUnit = level3.NonUnit
+	Unit    = level3.Unit
+)
+
+// Factorization errors.
+var (
+	// ErrNotSPD is returned by Cholesky for non-positive-definite input.
+	ErrNotSPD = level3.ErrNotSPD
+	// ErrSingular is returned by LU for exactly singular input.
+	ErrSingular = level3.ErrSingular
+)
+
+// Solver runs GEMM-based Level-3 BLAS routines (SYRK, SYMM, TRMM,
+// TRSM) and blocked factorizations (Cholesky, LU with partial
+// pivoting) with the bulk of the flops routed through a tuned device
+// GEMM — the consumer layer the paper's introduction motivates.
+type Solver struct {
+	eng *level3.Engine
+}
+
+// NewSolver builds a solver from a device and tuned kernel parameters.
+func NewSolver(d *Device, p Params) (*Solver, error) {
+	eng, err := level3.New(d, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{eng: eng}, nil
+}
+
+// BlockSize returns the blocking size nb: diagonal nb×nb blocks run on
+// the host, everything else through the device GEMM.
+func (s *Solver) BlockSize() int { return s.eng.NB }
+
+// SYRK computes C ← alpha·A·op(A)ᵀ… precisely: for trans == NoTrans,
+// C ← alpha·A·Aᵀ + beta·C; for trans == Trans, C ← alpha·Aᵀ·A + beta·C,
+// updating only the uplo triangle of C.
+func SYRK[T Scalar](s *Solver, uplo Uplo, trans Transpose, alpha T, a *Matrix[T], beta T, c *Matrix[T]) error {
+	return level3.SYRK(s.eng, uplo, trans, alpha, a, beta, c)
+}
+
+// SYMM computes C ← alpha·A·B + beta·C (Left) or C ← alpha·B·A + beta·C
+// (Right) with A symmetric (uplo triangle stored).
+func SYMM[T Scalar](s *Solver, side Side, uplo Uplo, alpha T, a, b *Matrix[T], beta T, c *Matrix[T]) error {
+	return level3.SYMM(s.eng, side, uplo, alpha, a, b, beta, c)
+}
+
+// TRMM computes B ← alpha·op(A)·B (Left) or B ← alpha·B·op(A) (Right)
+// with A triangular.
+func TRMM[T Scalar](s *Solver, side Side, uplo Uplo, trans Transpose, diag Diag, alpha T, a, b *Matrix[T]) error {
+	return level3.TRMM(s.eng, side, uplo, trans, diag, alpha, a, b)
+}
+
+// TRSM solves op(A)·X = alpha·B (Left) or X·op(A) = alpha·B (Right) for
+// X, overwriting B.
+func TRSM[T Scalar](s *Solver, side Side, uplo Uplo, trans Transpose, diag Diag, alpha T, a, b *Matrix[T]) error {
+	return level3.TRSM(s.eng, side, uplo, trans, diag, alpha, a, b)
+}
+
+// Cholesky factors an SPD matrix in place (lower triangle) into L·Lᵀ.
+func Cholesky[T Scalar](s *Solver, a *Matrix[T]) error {
+	return level3.Cholesky(s.eng, a)
+}
+
+// CholeskySolve solves A·X = B given the factor from Cholesky,
+// overwriting B.
+func CholeskySolve[T Scalar](s *Solver, a, b *Matrix[T]) error {
+	return level3.CholeskySolve(s.eng, a, b)
+}
+
+// LU factors A in place into P·A = L·U with partial pivoting and
+// returns the pivot sequence.
+func LU[T Scalar](s *Solver, a *Matrix[T]) ([]int, error) {
+	return level3.LU(s.eng, a)
+}
+
+// LUSolve solves A·X = B given the factorization from LU, overwriting B.
+func LUSolve[T Scalar](s *Solver, a *Matrix[T], piv []int, b *Matrix[T]) error {
+	return level3.LUSolve(s.eng, a, piv, b)
+}

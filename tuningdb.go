@@ -1,0 +1,37 @@
+package oclgemm
+
+import (
+	"oclgemm/internal/tunedb"
+)
+
+// TunedKernel is one persisted tuning result.
+type TunedKernel = tunedb.Record
+
+// TuningDB is a persistent set of tuning results keyed by
+// (device, precision).
+type TuningDB = tunedb.DB
+
+// PaperKernels returns the paper's published Table II kernels as a
+// tuning database — ready-to-use configurations for every catalogued
+// device without running a search.
+func PaperKernels() *TuningDB { return tunedb.PaperTableII() }
+
+// LoadTuningDB reads a tuning database written by (*TuningDB).Save,
+// validating every record.
+func LoadTuningDB(path string) (*TuningDB, error) { return tunedb.Load(path) }
+
+// RecordTuneResult converts a Tune outcome into a persistable record.
+func RecordTuneResult(deviceID string, res *TuneResult) TunedKernel {
+	return tunedb.FromParams(deviceID, res.Params, res.GFlops, res.BestN, "search")
+}
+
+// ParamsFor returns the kernel parameters stored in db for a device and
+// precision, if present.
+func ParamsFor(db *TuningDB, deviceID string, prec Precision) (Params, bool, error) {
+	rec, ok := db.Get(deviceID, prec)
+	if !ok {
+		return Params{}, false, nil
+	}
+	p, err := rec.Params()
+	return p, true, err
+}
