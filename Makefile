@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: test check bench
+
+# Tier-1: the build-and-test gate every change must pass.
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Deeper gate: static analysis plus the full suite (chaos tests
+# included) under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

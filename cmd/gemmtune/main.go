@@ -7,6 +7,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"sort"
 	"time"
 
 	"oclgemm/internal/core"
@@ -26,6 +28,10 @@ func main() {
 	finalists := flag.Int("finalists", 50, "kernels re-measured across sizes in stage 2")
 	showSource := flag.Bool("source", false, "also print the winning kernel's OpenCL C source")
 	savePath := flag.String("save", "", "persist the result into this tuning-database JSON file")
+	journal := flag.String("journal", "", "checkpoint stage-1 progress to this file; re-running resumes")
+	evalTimeout := flag.Duration("timeout", 0, "per-evaluation timeout (0 = none); hung kernels are rejected")
+	retries := flag.Int("retries", 0, "retries for transient evaluation failures")
+	verify := flag.Bool("verify", false, "run finalists on the simulated runtime and disqualify wrong results")
 	flag.Parse()
 
 	d, err := experiments.Device(*dev)
@@ -42,6 +48,8 @@ func main() {
 	tn, err := core.New(core.Options{
 		Device: d, Precision: prec,
 		MaxCandidates: *budget, MaxSize: *maxSize, Finalists: *finalists,
+		EvalTimeout: *evalTimeout, MaxRetries: *retries,
+		Verify: *verify, JournalPath: *journal,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -57,8 +65,27 @@ func main() {
 	p := b.Params
 	fmt.Printf("Device:        %s\n", d)
 	fmt.Printf("Routine:       %s (C <- alpha*A^T*B + beta*C kernel)\n", prec.GEMMName())
-	fmt.Printf("Search:        %d variants measured, %d rejected, stage-2 %d kernels, %s\n",
-		sel.Stats.Enumerated, sel.Stats.Rejected, sel.Stats.Stage2, elapsed.Round(time.Millisecond))
+	fmt.Printf("Search:        %d valid variants, %d measured (%d tested), %d rejected, stage-2 %d kernels, %s\n",
+		sel.Stats.Enumerated, sel.Stats.Measured, sel.Stats.Tested, sel.Stats.Rejected,
+		sel.Stats.Stage2, elapsed.Round(time.Millisecond))
+	if len(sel.Stats.RejectedBy) > 0 {
+		causes := make([]core.RejectCause, 0, len(sel.Stats.RejectedBy))
+		for c := range sel.Stats.RejectedBy {
+			causes = append(causes, c)
+		}
+		sort.Slice(causes, func(i, j int) bool { return causes[i] < causes[j] })
+		fmt.Printf("Rejects:      ")
+		for _, c := range causes {
+			fmt.Printf(" %s=%d", c, sel.Stats.RejectedBy[c])
+		}
+		fmt.Println()
+	}
+	if sel.Stats.Resumed > 0 {
+		fmt.Printf("Resumed:       %d stage-1 measurements replayed from %s\n", sel.Stats.Resumed, *journal)
+	}
+	if *verify {
+		fmt.Printf("Verified:      %d finalists passed the correctness gate\n", sel.Stats.Verified)
+	}
 	fmt.Printf("\nFastest kernel (Table II column):\n")
 	fmt.Printf("  Mwg,Nwg,Kwg:   %d,%d,%d\n", p.Mwg, p.Nwg, p.Kwg)
 	fmt.Printf("  Mwi,Nwi,Kwi:   %d,%d,%d\n", p.Mwi(), p.Nwi(), p.Kwi)
@@ -94,7 +121,12 @@ func main() {
 	if *savePath != "" {
 		db, err := tunedb.Load(*savePath)
 		if err != nil {
-			db = &tunedb.DB{} // new file
+			// Only a genuinely missing file starts fresh; a corrupt or
+			// version-mismatched database must not be clobbered.
+			if !os.IsNotExist(err) {
+				log.Fatal(err)
+			}
+			db = &tunedb.DB{}
 		}
 		db.Put(tunedb.FromParams(d.ID, p, b.Best, b.BestN, "search"))
 		if err := db.Save(*savePath); err != nil {

@@ -95,6 +95,13 @@ type QueueStats struct {
 type Queue struct {
 	Ctx *Context
 
+	// LaunchHook, if non-nil, is consulted before every kernel launch;
+	// a non-nil error aborts the launch. Fault-injection harnesses use
+	// it to simulate compile/launch failures without touching kernel
+	// code. Set it before the first launch; it must be safe for
+	// concurrent calls.
+	LaunchHook func(kernelName string) error
+
 	mu    sync.Mutex
 	stats QueueStats
 }

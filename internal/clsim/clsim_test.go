@@ -315,3 +315,37 @@ func TestLockstepLocalLimit(t *testing.T) {
 		t.Errorf("want ErrLocalMemExceeded, got %v", err)
 	}
 }
+
+// A queue's LaunchHook must be able to veto launches (the fault
+// injector's simulated compile/launch failures), and a passing hook
+// must observe the kernel name without disturbing execution.
+func TestLaunchHookVetoesLaunches(t *testing.T) {
+	ctx := NewContext(testDevice())
+	q := NewQueue(ctx)
+	var seen []string
+	q.LaunchHook = func(name string) error {
+		seen = append(seen, name)
+		if name == "lockstep-sum" {
+			return errors.New("injected launch failure")
+		}
+		return nil
+	}
+	in := make([]float64, 32)
+	k := &lockstepSum{in: in, out: make([]float64, 4)}
+	nd := NDRange{Global: [2]int{32, 1}, Local: [2]int{8, 1}}
+	if err := q.RunLockstep(k, nd); err == nil {
+		t.Fatal("hooked launch must fail")
+	}
+	if st := q.Stats(); st.KernelLaunches != 0 {
+		t.Errorf("vetoed launch must not count, got %d launches", st.KernelLaunches)
+	}
+
+	// The concurrent executor consults the hook too.
+	ids := &idKernel{out: make([]float32, 16)}
+	if err := q.Run(ids, NDRange{Global: [2]int{4, 4}, Local: [2]int{2, 2}}); err != nil {
+		t.Fatalf("non-vetoed kernel must run: %v", err)
+	}
+	if len(seen) != 2 || seen[0] != "lockstep-sum" || seen[1] != "ids" {
+		t.Errorf("hook saw %v, want [lockstep-sum ids]", seen)
+	}
+}

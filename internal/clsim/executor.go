@@ -156,6 +156,9 @@ func (q *Queue) Run(k WorkItemKernel, nd NDRange) error {
 	if err := nd.Validate(q.Ctx.Device); err != nil {
 		return fmt.Errorf("kernel %s: %w", k.Name(), err)
 	}
+	if err := q.launchAllowed(k.Name()); err != nil {
+		return err
+	}
 	groups := nd.NumGroups()
 	var firstErr atomic.Value
 	var barriers int64
@@ -237,6 +240,9 @@ func (q *Queue) RunLockstep(k GroupKernel, nd NDRange) error {
 	if err := nd.Validate(q.Ctx.Device); err != nil {
 		return fmt.Errorf("kernel %s: %w", k.Name(), err)
 	}
+	if err := q.launchAllowed(k.Name()); err != nil {
+		return err
+	}
 	groups := nd.NumGroups()
 	var firstErr atomic.Value
 	var barriers int64
@@ -273,6 +279,18 @@ func (q *Queue) RunLockstep(k GroupKernel, nd NDRange) error {
 	q.addLaunch(int64(nd.TotalGroups()), int64(nd.Global[0])*int64(nd.Global[1]), barriers)
 	if err, ok := firstErr.Load().(error); ok && err != nil {
 		return fmt.Errorf("kernel %s: %w", k.Name(), err)
+	}
+	return nil
+}
+
+// launchAllowed consults the queue's LaunchHook (simulated launch-time
+// failures).
+func (q *Queue) launchAllowed(name string) error {
+	if q.LaunchHook == nil {
+		return nil
+	}
+	if err := q.LaunchHook(name); err != nil {
+		return fmt.Errorf("kernel %s: launch rejected: %w", name, err)
 	}
 	return nil
 }

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// The stage-1 checkpoint journal: one JSON line per completed
+// evaluation, keyed by a hash of the search identity so a journal file
+// can be shared across devices and precisions. An interrupted Tune
+// re-run with the same journal path replays completed measurements
+// instead of re-evaluating them (Stats.Resumed counts the hits).
+//
+// The journal records outcomes, not evaluator internals: resuming with
+// a different evaluator configuration silently reuses the old
+// measurements, so callers should key journal files to their setup.
+
+// journalEntry is one persisted stage-1 outcome.
+type journalEntry struct {
+	Key    string  `json:"key"`
+	Name   string  `json:"name"`
+	GFlops float64 `json:"gflops"`
+	Cause  string  `json:"cause,omitempty"` // empty = success
+}
+
+// journal appends entries to an open file under a mutex (stage-1
+// workers write concurrently).
+type journal struct {
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer
+	key string
+}
+
+// searchKey fingerprints the search identity: device, precision, and
+// the candidate space. Entries from other searches in the same file are
+// skipped on load.
+func searchKey(o *Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%+v", o.Device.ID, o.Precision, *o.Space)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// openJournal opens (creating if needed) the journal at path and
+// returns it along with the already-completed entries for key. A
+// truncated final line — the signature of a killed process — is
+// discarded; any other malformed line fails the load so corruption is
+// surfaced rather than silently resumed over.
+func openJournal(path, key string) (*journal, map[string]journalEntry, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	done := make(map[string]journalEntry)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// Peek: is this the final line? A partial trailing write is
+			// expected after a kill; anything earlier is corruption.
+			if sc.Scan() {
+				f.Close()
+				return nil, nil, fmt.Errorf("core: journal %s: malformed line %d: %w", path, lineno, err)
+			}
+			break
+		}
+		if e.Key == key {
+			done[e.Name] = e
+		}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("core: journal %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, 2); err != nil { // append after what we read
+		f.Close()
+		return nil, nil, err
+	}
+	return &journal{f: f, w: bufio.NewWriter(f), key: key}, done, nil
+}
+
+// append records one completed evaluation and flushes it, so a kill
+// loses at most the in-flight line.
+func (j *journal) append(name string, gf float64, cause string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	data, err := json.Marshal(journalEntry{Key: j.key, Name: name, GFlops: gf, Cause: cause})
+	if err != nil {
+		return
+	}
+	j.w.Write(data)
+	j.w.WriteByte('\n')
+	j.w.Flush()
+}
+
+// close flushes and closes the file.
+func (j *journal) close() {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.w.Flush()
+	j.f.Close()
+}

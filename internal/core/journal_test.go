@@ -1,0 +1,98 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+)
+
+func mustDevice(t *testing.T, id string) *device.Spec {
+	t.Helper()
+	d, err := device.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, done, err := openJournal(path, "k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 0 {
+		t.Fatalf("fresh journal must be empty, got %d", len(done))
+	}
+	j.append("a", 12.5, "")
+	j.append("b", 0, "compile")
+	j.close()
+
+	_, done, err = openJournal(path, "k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 || done["a"].GFlops != 12.5 || done["b"].Cause != "compile" {
+		t.Fatalf("round trip lost entries: %+v", done)
+	}
+
+	// A different search key must see none of them.
+	_, other, err := openJournal(path, "k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(other) != 0 {
+		t.Fatalf("key mismatch must skip entries, got %d", len(other))
+	}
+}
+
+// A truncated final line (killed process mid-write) is discarded;
+// corruption earlier in the file is an error.
+func TestJournalTruncationAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+
+	trunc := filepath.Join(dir, "trunc.jsonl")
+	content := `{"key":"k","name":"a","gflops":1}` + "\n" + `{"key":"k","name":"b","gf`
+	if err := os.WriteFile(trunc, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, done, err := openJournal(trunc, "k")
+	if err != nil {
+		t.Fatalf("truncated tail must be tolerated: %v", err)
+	}
+	j.close()
+	if len(done) != 1 || done["a"].GFlops != 1 {
+		t.Fatalf("complete entries must survive truncation: %+v", done)
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.jsonl")
+	content = `{"key":"k","name":"a","gf` + "\n" + `{"key":"k","name":"b","gflops":2}` + "\n"
+	if err := os.WriteFile(corrupt, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openJournal(corrupt, "k"); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("mid-file corruption must fail with the line number, got %v", err)
+	}
+}
+
+func TestSearchKeyDistinguishesConfigs(t *testing.T) {
+	a, err := New(Options{Device: mustDevice(t, "tahiti"), Precision: matrix.Single})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{Device: mustDevice(t, "fermi"), Precision: matrix.Single})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if searchKey(&a.opts) == searchKey(&b.opts) {
+		t.Error("different devices must produce different journal keys")
+	}
+	a2, _ := New(Options{Device: mustDevice(t, "tahiti"), Precision: matrix.Single})
+	if searchKey(&a.opts) != searchKey(&a2.opts) {
+		t.Error("identical configs must produce identical journal keys")
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+)
+
+// countingEvaluator wraps the model evaluator and counts fresh calls,
+// optionally cancelling the search after a fixed number of them.
+func countingEvaluator(calls *atomic.Int64, cancelAfter int64, cancel context.CancelFunc) CtxEvaluator {
+	return func(ctx context.Context, d *device.Spec, p *codegen.Params, n int) (float64, error) {
+		c := calls.Add(1)
+		if cancel != nil && c == cancelAfter {
+			cancel()
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return ModelEvaluator(d, p, n)
+	}
+}
+
+// Killing a journaled search mid-stage-1 and re-running it with the
+// same journal must resume (skipping completed evaluations) and select
+// the same kernel an uninterrupted run selects.
+func TestSearchResumesFromJournal(t *testing.T) {
+	opts := Options{
+		Device:        device.Tahiti(),
+		Precision:     matrix.Single,
+		MaxCandidates: 600,
+		Finalists:     10,
+	}
+
+	// Baseline: uninterrupted, no journal.
+	base, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel the context from inside the evaluator
+	// partway through stage 1, as a kill signal would.
+	path := filepath.Join(t.TempDir(), "stage1.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var killed atomic.Int64
+	iopts := opts
+	iopts.JournalPath = path
+	iopts.Context = ctx
+	iopts.CtxEvaluator = countingEvaluator(&killed, 150, cancel)
+	interrupted, err := New(iopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := interrupted.Search(); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("cancelled search must return ErrInterrupted, got %v", err)
+	}
+
+	// Resume: same journal, fresh tuner. Completed evaluations must be
+	// replayed, not re-measured.
+	var fresh atomic.Int64
+	ropts := opts
+	ropts.JournalPath = path
+	ropts.CtxEvaluator = countingEvaluator(&fresh, 0, nil)
+	resumer, err := New(ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := resumer.Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if sel.Stats.Resumed == 0 {
+		t.Error("resumed run must replay journaled evaluations (Stats.Resumed == 0)")
+	}
+	freshStage1 := sel.Stats.Measured - sel.Stats.Resumed
+	if freshStage1 >= sel.Stats.Measured {
+		t.Errorf("resume must skip completed candidates: %d fresh of %d measured",
+			freshStage1, sel.Stats.Measured)
+	}
+	// Fresh evaluator calls = remaining stage-1 candidates + stage-2
+	// curve sweeps; the journal must have absorbed the rest.
+	if int(fresh.Load()) >= sel.Stats.Measured+sel.Stats.Stage2Evals {
+		t.Errorf("resumed run made %d evaluator calls, journal saved nothing", fresh.Load())
+	}
+
+	if sel.Best.Params != want.Best.Params {
+		t.Errorf("resumed selection differs from uninterrupted run:\n%s\n%s",
+			sel.Best.Params.Name(), want.Best.Params.Name())
+	}
+	if sel.Best.Best != want.Best.Best {
+		t.Errorf("resumed best perf %v != uninterrupted %v", sel.Best.Best, want.Best.Best)
+	}
+	if sel.Stats.Tested != want.Stats.Tested {
+		t.Errorf("resumed Tested %d != uninterrupted %d", sel.Stats.Tested, want.Stats.Tested)
+	}
+
+	// A second resume over the now-complete journal replays everything.
+	var again atomic.Int64
+	aopts := opts
+	aopts.JournalPath = path
+	aopts.CtxEvaluator = countingEvaluator(&again, 0, nil)
+	rerun, err := New(aopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel2, err := rerun.Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel2.Stats.Resumed != sel2.Stats.Measured {
+		t.Errorf("complete journal must replay all of stage 1: resumed %d of %d",
+			sel2.Stats.Resumed, sel2.Stats.Measured)
+	}
+	if int(again.Load()) != sel2.Stats.Stage2Evals {
+		t.Errorf("fully-journaled rerun must only evaluate stage 2: %d calls, %d stage-2 evals",
+			again.Load(), sel2.Stats.Stage2Evals)
+	}
+	if sel2.Best.Params != want.Best.Params {
+		t.Error("second resume changed the selection")
+	}
+}

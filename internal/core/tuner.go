@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"oclgemm/internal/codegen"
 	"oclgemm/internal/device"
@@ -46,6 +48,38 @@ type Options struct {
 	Workers int
 	// Evaluator overrides the measurement function (nil = model).
 	Evaluator Evaluator
+	// CtxEvaluator overrides Evaluator with a context-aware
+	// measurement function; required for the per-evaluation timeout to
+	// reclaim hung evaluations.
+	CtxEvaluator CtxEvaluator
+
+	// EvalTimeout bounds each stage-1/2 evaluation; 0 disables the
+	// timeout middleware. Evaluations past the deadline count as
+	// RejectTimeout (the paper's hung kernels).
+	EvalTimeout time.Duration
+	// MaxRetries re-attempts evaluations failing with ErrTransient up
+	// to this many extra times (0 disables the retry middleware).
+	MaxRetries int
+	// RetryBackoff is the initial exponential backoff between retries
+	// (0 = 1ms).
+	RetryBackoff time.Duration
+
+	// Verify enables the correctness gate: each finalist's generated
+	// kernel runs on the simulated runtime and is compared against the
+	// blas reference before it may reach stage 2; wrong-result kernels
+	// are disqualified and replaced from the stage-1 ranking.
+	Verify bool
+	// Verifier overrides the gate's check (nil = VerifyParams).
+	Verifier Verifier
+
+	// JournalPath enables stage-1 checkpointing: completed evaluations
+	// append to this JSON-lines file, and a re-run with the same path
+	// (and search configuration) resumes instead of re-measuring.
+	JournalPath string
+
+	// Context cancels a running search; Search then returns an error
+	// wrapping ErrInterrupted. nil means Background.
+	Context context.Context
 }
 
 // SizedPerf is one point of a performance curve.
@@ -68,14 +102,45 @@ type Result struct {
 }
 
 // Stats tallies a search run the way the paper reports it: variants
-// that failed generation/compilation/testing are not counted among the
-// tested kernels.
+// that failed generation, compilation or testing are counted under
+// Rejected (split by cause), not among the tested kernels.
 type Stats struct {
-	Enumerated  int // valid candidates measured in stage 1
-	Rejected    int // failed generation or device checks
+	// Enumerated is the number of valid candidate variants in the
+	// (sampled) space.
+	Enumerated int
+	// Measured is the number of stage-1 evaluations attempted,
+	// including journal replays.
+	Measured int
+	// Tested is the number of stage-1 evaluations that produced a
+	// measurement (Measured minus evaluation failures).
+	Tested int
+	// Resumed counts stage-1 results restored from the checkpoint
+	// journal instead of re-evaluated.
+	Resumed int
+	// Rejected totals candidates excluded for any cause: generation or
+	// device checks, evaluation failures, and correctness-gate
+	// disqualifications.
+	Rejected int
+	// RejectedBy breaks Rejected down per cause.
+	RejectedBy map[RejectCause]int
+	// Verified counts finalists that passed the correctness gate
+	// (0 when the gate is disabled).
+	Verified    int
 	ProbeSize   int
 	Stage2      int // finalists re-measured across sizes
 	Stage2Evals int
+}
+
+// addReject tallies one rejection.
+func (s *Stats) addReject(c RejectCause, n int) {
+	if n == 0 {
+		return
+	}
+	if s.RejectedBy == nil {
+		s.RejectedBy = make(map[RejectCause]int)
+	}
+	s.RejectedBy[c] += n
+	s.Rejected += n
 }
 
 // Selection is the outcome of a search.
@@ -89,6 +154,7 @@ type Selection struct {
 // heuristic search engine.
 type Tuner struct {
 	opts Options
+	eval CtxEvaluator // Evaluator wrapped in the middleware stack
 }
 
 // New creates a tuner. Device and a valid precision are required.
@@ -115,7 +181,19 @@ func New(opts Options) (*Tuner, error) {
 		s := DefaultSpace(opts.Device)
 		opts.Space = &s
 	}
-	return &Tuner{opts: opts}, nil
+	if opts.Verifier == nil {
+		opts.Verifier = VerifyParams
+	}
+	if opts.Context == nil {
+		opts.Context = context.Background()
+	}
+	ev := opts.CtxEvaluator
+	if ev == nil {
+		ev = AdaptEvaluator(opts.Evaluator)
+	}
+	ev = WithTimeout(ev, opts.EvalTimeout)
+	ev = WithRetry(ev, opts.MaxRetries, opts.RetryBackoff)
+	return &Tuner{opts: opts, eval: ev}, nil
 }
 
 // ProbeSize returns the paper's stage-1 problem size for the given
@@ -153,16 +231,23 @@ func Sizes(lcm, max int) []int {
 }
 
 // Search runs the three-stage selection and returns the fastest kernel.
+// Candidates that fail evaluation (compile, hang, persistent transient
+// error, panic) are rejected per cause rather than scored; if every
+// candidate fails, the error wraps ErrNoViableKernel.
 func (t *Tuner) Search() (*Selection, error) {
 	o := t.opts
+	ctx := o.Context
+	var stats Stats
 
 	// Stage 0: count the valid candidates, then sample the space with a
 	// deterministic stride so the measured set stays representative.
-	valid, rejected := o.Space.Enumerate(o.Device, o.Precision, func(codegen.Params) bool { return true })
+	valid, genRejected := o.Space.Enumerate(o.Device, o.Precision, func(codegen.Params) bool { return true })
 	if valid == 0 {
 		return nil, fmt.Errorf("core: no valid kernel variants for %s %s",
 			o.Device.CodeName, o.Precision.GEMMName())
 	}
+	stats.Enumerated = valid
+	stats.addReject(RejectGeneration, genRejected)
 	step := 1
 	if o.MaxCandidates > 0 && valid > o.MaxCandidates {
 		step = valid / o.MaxCandidates
@@ -180,32 +265,106 @@ func (t *Tuner) Search() (*Selection, error) {
 		return true
 	})
 
-	// Stage 1: measure every candidate at its probe size.
-	results := make([]Result, len(candidates))
-	t.parallelFor(len(candidates), func(i int) {
-		p := candidates[i]
-		n := ProbeSize(o.Device, &p)
-		gf, err := o.Evaluator(o.Device, &p, n)
+	// Checkpoint journal: replay completed stage-1 evaluations.
+	var jr *journal
+	replay := map[string]journalEntry{}
+	if o.JournalPath != "" {
+		var err error
+		jr, replay, err = openJournal(o.JournalPath, searchKey(&o))
 		if err != nil {
-			gf = 0 // failed in testing: not counted (sorted to the bottom)
+			return nil, err
 		}
-		results[i] = Result{Params: p, Probe: gf}
+		defer jr.close()
+	}
+
+	// Stage 1: measure every candidate at its probe size. Outcomes are
+	// recorded per candidate; panics in workers become per-candidate
+	// errors via parallelFor.
+	type outcome struct {
+		gf      float64
+		err     error
+		resumed bool
+	}
+	outs := make([]outcome, len(candidates))
+	var resumed int64
+	var mu sync.Mutex
+	panics := t.parallelFor(ctx, len(candidates), func(i int) error {
+		p := candidates[i]
+		name := p.Name()
+		if e, ok := replay[name]; ok {
+			out := outcome{gf: e.GFlops, resumed: true}
+			if e.Cause != "" {
+				out.err = causeError(parseRejectCause(e.Cause))
+			}
+			outs[i] = out
+			mu.Lock()
+			resumed++
+			mu.Unlock()
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			outs[i] = outcome{err: err}
+			return nil
+		}
+		n := ProbeSize(o.Device, &p)
+		gf, err := t.eval(ctx, o.Device, &p, n)
+		outs[i] = outcome{gf: gf, err: err}
+		if err == nil {
+			jr.append(name, gf, "")
+		} else if !errors.Is(err, context.Canceled) {
+			// Interruption is a property of the run, not the candidate:
+			// only journal candidate-attributable failures.
+			jr.append(name, 0, CauseOf(err).String())
+		}
+		return nil
 	})
+	for i, perr := range panics {
+		if perr != nil {
+			outs[i].err = perr
+			jr.append(candidates[i].Name(), 0, CauseOf(perr).String())
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		if jr != nil {
+			return nil, fmt.Errorf("%w: %v (stage-1 progress journaled)", ErrInterrupted, err)
+		}
+		return nil, fmt.Errorf("%w: %v", ErrInterrupted, err)
+	}
+
+	stats.Measured = len(candidates)
+	stats.Resumed = int(resumed)
+	results := make([]Result, 0, len(candidates))
+	for i, out := range outs {
+		if out.err != nil {
+			stats.addReject(CauseOf(out.err), 1)
+			continue
+		}
+		results = append(results, Result{Params: candidates[i], Probe: out.gf})
+	}
+	stats.Tested = len(results)
+	if len(results) == 0 {
+		return nil, fmt.Errorf("%w: all %d stage-1 candidates failed (%s)",
+			ErrNoViableKernel, len(candidates), rejectSummary(stats.RejectedBy))
+	}
 	sort.SliceStable(results, func(i, j int) bool { return results[i].Probe > results[j].Probe })
 
-	nFinal := o.Finalists
-	if nFinal > len(results) {
-		nFinal = len(results)
+	// Correctness gate (paper's "passed testing"): walk the ranking,
+	// admitting only kernels whose simulated execution matches the
+	// reference, until Finalists survive or the ranking is exhausted.
+	finalists, verified := t.gateFinalists(ctx, results, o.Finalists, &stats)
+	stats.Verified = verified
+	if len(finalists) == 0 {
+		return nil, fmt.Errorf("%w: every tested kernel failed the correctness gate",
+			ErrNoViableKernel)
 	}
-	finalists := results[:nFinal]
 
 	// Stage 2: re-measure finalists across sizes.
 	stage2Evals := 0
-	t.parallelFor(len(finalists), func(i int) {
+	t.parallelFor(ctx, len(finalists), func(i int) error {
 		r := &finalists[i]
 		sizes := Sizes(r.Params.LCM(), o.MaxSize)
 		for _, n := range sizes {
-			gf, err := o.Evaluator(o.Device, &r.Params, n)
+			gf, err := t.eval(ctx, o.Device, &r.Params, n)
 			if err != nil {
 				continue
 			}
@@ -215,7 +374,11 @@ func (t *Tuner) Search() (*Selection, error) {
 				r.BestN = n
 			}
 		}
+		return nil
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInterrupted, err)
+	}
 	for i := range finalists {
 		stage2Evals += len(finalists[i].Curve)
 	}
@@ -228,20 +391,74 @@ func (t *Tuner) Search() (*Selection, error) {
 		}
 	}
 
-	sel := &Selection{
+	stats.Stage2 = len(finalists)
+	stats.Stage2Evals = stage2Evals
+	stats.ProbeSize = ProbeSize(o.Device, &finalists[0].Params)
+	return &Selection{
 		Best:      finalists[best],
 		Finalists: append([]Result(nil), finalists...),
-		Stats: Stats{
-			Enumerated:  valid,
-			Rejected:    rejected,
-			Stage2:      len(finalists),
-			Stage2Evals: stage2Evals,
-		},
+		Stats:     stats,
+	}, nil
+}
+
+// gateFinalists selects up to want finalists from the ranked results,
+// applying the correctness gate when enabled. Disqualified kernels are
+// tallied under RejectWrongResult (or the verifier's cause) and the
+// next-ranked candidates take their place.
+func (t *Tuner) gateFinalists(ctx context.Context, ranked []Result, want int, stats *Stats) (finalists []Result, verified int) {
+	if !t.opts.Verify {
+		if want > len(ranked) {
+			want = len(ranked)
+		}
+		return ranked[:want:want], 0
 	}
-	if len(finalists) > 0 {
-		sel.Stats.ProbeSize = ProbeSize(o.Device, &finalists[0].Params)
+	next := 0
+	for len(finalists) < want && next < len(ranked) {
+		n := want - len(finalists)
+		if n > len(ranked)-next {
+			n = len(ranked) - next
+		}
+		batch := ranked[next : next+n]
+		next += n
+		verrs := make([]error, len(batch))
+		panics := t.parallelFor(ctx, len(batch), func(i int) error {
+			verrs[i] = t.opts.Verifier(t.opts.Device, &batch[i].Params)
+			return nil
+		})
+		if ctx.Err() != nil {
+			break
+		}
+		for i := range batch {
+			err := verrs[i]
+			if err == nil {
+				err = panics[i]
+			}
+			if err != nil {
+				stats.addReject(CauseOf(err), 1)
+				continue
+			}
+			verified++
+			finalists = append(finalists, batch[i])
+		}
 	}
-	return sel, nil
+	return finalists, verified
+}
+
+// rejectSummary formats a per-cause breakdown for error messages.
+func rejectSummary(by map[RejectCause]int) string {
+	s := ""
+	for c := RejectGeneration; c < numRejectCauses; c++ {
+		if n := by[c]; n > 0 {
+			if s != "" {
+				s += ", "
+			}
+			s += fmt.Sprintf("%s: %d", c, n)
+		}
+	}
+	if s == "" {
+		return "no rejects"
+	}
+	return s
 }
 
 // Curve evaluates one kernel across the stage-2 sizes (used by the
@@ -259,16 +476,33 @@ func (t *Tuner) Curve(p codegen.Params, maxSize int) []SizedPerf {
 	return out
 }
 
-func (t *Tuner) parallelFor(n int, fn func(i int)) {
+// parallelFor runs fn(0..n-1) over the tuner's worker pool and returns
+// per-index errors. A panic inside fn is recovered in the worker and
+// converted into an ErrPanic-wrapped error for that index instead of
+// crashing the whole search; cancelling ctx stops dispatching further
+// indices (in-flight ones finish).
+func (t *Tuner) parallelFor(ctx context.Context, n int, fn func(i int) error) []error {
+	errs := make([]error, n)
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("%w: %v", ErrPanic, r)
+			}
+		}()
+		errs[i] = fn(i)
+	}
 	workers := t.opts.Workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if ctx.Err() != nil {
+				break
+			}
+			run(i)
 		}
-		return
+		return errs
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -277,13 +511,19 @@ func (t *Tuner) parallelFor(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				run(i)
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	return errs
 }

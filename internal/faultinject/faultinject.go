@@ -1,0 +1,267 @@
+// Package faultinject is a deterministic, seeded fault injector for the
+// tuning engine: it wraps a core.CtxEvaluator (and offers a clsim launch
+// hook) to inject compile failures, hung kernels, transient errors,
+// measurement noise, panics, and wrong-result kernels at configurable
+// rates. Every decision is a pure function of (seed, candidate name), so
+// a chaos run is reproducible regardless of worker scheduling — the test
+// harness for the engine's retry, timeout, panic-isolation, correctness
+// gate and checkpoint/resume machinery.
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"context"
+
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/core"
+	"oclgemm/internal/device"
+)
+
+// Class is the fault injected for one candidate. Classes are mutually
+// exclusive: the configured rates partition the unit interval, and the
+// candidate's hash picks the bucket.
+type Class int
+
+// Fault classes.
+const (
+	None Class = iota
+	Compile
+	Hang
+	Transient
+	Panic
+	Wrong
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Compile:
+		return "compile"
+	case Hang:
+		return "hang"
+	case Transient:
+		return "transient"
+	case Panic:
+		return "panic"
+	case Wrong:
+		return "wrong"
+	default:
+		return "none"
+	}
+}
+
+// Config sets the injection rates; each is the probability (0..1) that
+// a candidate falls into that class. Rates must sum to at most 1.
+type Config struct {
+	Seed int64
+
+	CompileRate     float64 // fail with core.ErrCompile
+	HangRate        float64 // block until the evaluation context is cancelled
+	TransientRate   float64 // fail with core.ErrTransient, then recover
+	PanicRate       float64 // panic inside the evaluation
+	WrongResultRate float64 // compute fast-but-wrong kernels
+
+	// TransientFails is how many attempts of a transient-marked
+	// candidate fail before it succeeds (default 1 — one retry
+	// recovers it).
+	TransientFails int
+	// NoiseFrac perturbs successful measurements multiplicatively by
+	// up to ±NoiseFrac (deterministic per candidate and size).
+	NoiseFrac float64
+	// WrongBoost inflates wrong-result kernels' scores so they tempt
+	// the ranking and the correctness gate must catch them
+	// (default 1.25).
+	WrongBoost float64
+}
+
+// Injector wraps evaluators and verifiers with deterministic faults and
+// records what it actually injected for the chaos tests' accounting.
+type Injector struct {
+	cfg Config
+
+	mu       sync.Mutex
+	attempts map[string]int   // transient attempt counter per candidate
+	injected map[string]Class // faults observed during evaluation
+	gated    map[string]bool  // wrong-result kernels the verifier caught
+}
+
+// New creates an injector; rates are validated against the unit
+// interval.
+func New(cfg Config) (*Injector, error) {
+	total := cfg.CompileRate + cfg.HangRate + cfg.TransientRate + cfg.PanicRate + cfg.WrongResultRate
+	if total > 1 || cfg.CompileRate < 0 || cfg.HangRate < 0 || cfg.TransientRate < 0 ||
+		cfg.PanicRate < 0 || cfg.WrongResultRate < 0 {
+		return nil, fmt.Errorf("faultinject: rates must be non-negative and sum to <= 1, got %g", total)
+	}
+	if cfg.TransientFails <= 0 {
+		cfg.TransientFails = 1
+	}
+	if cfg.WrongBoost <= 0 {
+		cfg.WrongBoost = 1.25
+	}
+	return &Injector{
+		cfg:      cfg,
+		attempts: make(map[string]int),
+		injected: make(map[string]Class),
+		gated:    make(map[string]bool),
+	}, nil
+}
+
+// unit hashes the labels with the seed into [0,1). FNV-1a alone
+// under-mixes trailing-byte differences into the top bits, so a
+// murmur3-style finalizer spreads the state before the 53 bits are
+// taken.
+func (in *Injector) unit(labels ...string) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", in.cfg.Seed)
+	for _, l := range labels {
+		h.Write([]byte{0})
+		h.Write([]byte(l))
+	}
+	s := h.Sum64()
+	s ^= s >> 33
+	s *= 0xff51afd7ed558ccd
+	s ^= s >> 33
+	s *= 0xc4ceb9fe1a85ec53
+	s ^= s >> 33
+	return float64(s>>11) / float64(1<<53)
+}
+
+// ClassOf returns the fault class assigned to a candidate name.
+func (in *Injector) ClassOf(name string) Class {
+	u := in.unit("class", name)
+	for _, b := range []struct {
+		rate float64
+		c    Class
+	}{
+		{in.cfg.CompileRate, Compile},
+		{in.cfg.HangRate, Hang},
+		{in.cfg.TransientRate, Transient},
+		{in.cfg.PanicRate, Panic},
+		{in.cfg.WrongResultRate, Wrong},
+	} {
+		if u < b.rate {
+			return b.c
+		}
+		u -= b.rate
+	}
+	return None
+}
+
+// IsWrong reports whether the candidate is an injected wrong-result
+// kernel (the selection must never be one).
+func (in *Injector) IsWrong(p *codegen.Params) bool { return in.ClassOf(p.Name()) == Wrong }
+
+func (in *Injector) record(name string, c Class) {
+	in.mu.Lock()
+	in.injected[name] = c
+	in.mu.Unlock()
+}
+
+// noisy perturbs a successful measurement deterministically.
+func (in *Injector) noisy(name string, n int, gf float64) float64 {
+	if in.cfg.NoiseFrac <= 0 {
+		return gf
+	}
+	u := in.unit("noise", name, fmt.Sprint(n))
+	return gf * (1 + in.cfg.NoiseFrac*(2*u-1))
+}
+
+// Evaluator wraps base with the configured faults.
+func (in *Injector) Evaluator(base core.CtxEvaluator) core.CtxEvaluator {
+	return func(ctx context.Context, d *device.Spec, p *codegen.Params, n int) (float64, error) {
+		name := p.Name()
+		switch in.ClassOf(name) {
+		case Compile:
+			in.record(name, Compile)
+			return 0, fmt.Errorf("%w: injected compile failure", core.ErrCompile)
+		case Hang:
+			in.record(name, Hang)
+			<-ctx.Done() // hung kernel: only the timeout reclaims it
+			return 0, ctx.Err()
+		case Panic:
+			in.record(name, Panic)
+			panic("faultinject: injected panic in evaluator")
+		case Transient:
+			in.mu.Lock()
+			in.attempts[name]++
+			a := in.attempts[name]
+			in.mu.Unlock()
+			if a <= in.cfg.TransientFails {
+				in.record(name, Transient)
+				return 0, fmt.Errorf("%w: injected flake (attempt %d)", core.ErrTransient, a)
+			}
+			gf, err := base(ctx, d, p, n)
+			return in.noisy(name, n, gf), err
+		case Wrong:
+			in.record(name, Wrong)
+			gf, err := base(ctx, d, p, n)
+			if err != nil {
+				return gf, err
+			}
+			// Fast but wrong: the score tempts the ranking, the gate
+			// must disqualify it.
+			return in.noisy(name, n, gf) * in.cfg.WrongBoost, nil
+		default:
+			gf, err := base(ctx, d, p, n)
+			if err != nil {
+				return gf, err
+			}
+			return in.noisy(name, n, gf), nil
+		}
+	}
+}
+
+// Verifier wraps base (nil allowed) so the correctness gate catches
+// exactly the injected wrong-result kernels.
+func (in *Injector) Verifier(base core.Verifier) core.Verifier {
+	return func(d *device.Spec, p *codegen.Params) error {
+		name := p.Name()
+		if in.ClassOf(name) == Wrong {
+			in.mu.Lock()
+			in.gated[name] = true
+			in.mu.Unlock()
+			return fmt.Errorf("%w: injected wrong-result kernel", core.ErrWrongResult)
+		}
+		if base != nil {
+			return base(d, p)
+		}
+		return nil
+	}
+}
+
+// LaunchHook returns a clsim Queue hook failing kernel launches at
+// CompileRate (keyed by kernel name, independent of the evaluator
+// faults).
+func (in *Injector) LaunchHook() func(kernelName string) error {
+	return func(kernelName string) error {
+		if in.unit("launch", kernelName) < in.cfg.CompileRate {
+			return fmt.Errorf("faultinject: injected launch failure for kernel %s", kernelName)
+		}
+		return nil
+	}
+}
+
+// InjectedCounts returns the number of distinct candidates per fault
+// class actually injected during evaluation (deterministic for a given
+// seed and candidate set).
+func (in *Injector) InjectedCounts() map[Class]int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Class]int)
+	for _, c := range in.injected {
+		out[c]++
+	}
+	return out
+}
+
+// GatedWrongResults returns how many injected wrong-result kernels the
+// correctness gate disqualified.
+func (in *Injector) GatedWrongResults() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.gated)
+}

@@ -1,0 +1,140 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/core"
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+)
+
+func mustNew(t *testing.T, cfg Config) *Injector {
+	t.Helper()
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestNewRejectsBadRates(t *testing.T) {
+	if _, err := New(Config{CompileRate: 0.8, HangRate: 0.3}); err == nil {
+		t.Error("rates summing past 1 must be rejected")
+	}
+	if _, err := New(Config{CompileRate: -0.1}); err == nil {
+		t.Error("negative rates must be rejected")
+	}
+}
+
+func TestClassOfDeterministicAndDistributed(t *testing.T) {
+	cfg := Config{Seed: 7, CompileRate: 0.1, HangRate: 0.1, TransientRate: 0.1,
+		PanicRate: 0.05, WrongResultRate: 0.1}
+	a := mustNew(t, cfg)
+	b := mustNew(t, cfg)
+	counts := map[Class]int{}
+	for i := 0; i < 2000; i++ {
+		name := fmt.Sprintf("candidate-%d", i)
+		if a.ClassOf(name) != b.ClassOf(name) {
+			t.Fatalf("same seed must classify %q identically", name)
+		}
+		counts[a.ClassOf(name)]++
+	}
+	// Each 10% class should land in a loose band around 200/2000.
+	for _, c := range []Class{Compile, Hang, Transient, Wrong} {
+		if n := counts[c]; n < 100 || n > 320 {
+			t.Errorf("class %s hit %d of 2000, want ~200", c, n)
+		}
+	}
+	other := mustNew(t, Config{Seed: 8, CompileRate: 0.1, HangRate: 0.1,
+		TransientRate: 0.1, PanicRate: 0.05, WrongResultRate: 0.1})
+	diff := 0
+	for i := 0; i < 2000; i++ {
+		name := fmt.Sprintf("candidate-%d", i)
+		if a.ClassOf(name) != other.ClassOf(name) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("a different seed must reshuffle fault assignments")
+	}
+}
+
+func TestEvaluatorInjectsEachClass(t *testing.T) {
+	// Rate 1.0 per run isolates one class at a time.
+	base := func(ctx context.Context, d *device.Spec, p *codegen.Params, n int) (float64, error) {
+		return 100, nil
+	}
+	dev := device.Tahiti()
+	p := codegen.Params{Precision: matrix.Single, Mwg: 32, Nwg: 32, Kwg: 32,
+		MdimC: 8, NdimC: 8, MdimA: 8, NdimB: 8, Kwi: 2, VectorWidth: 1}
+
+	in := mustNew(t, Config{CompileRate: 1})
+	if _, err := in.Evaluator(base)(context.Background(), dev, &p, 64); !errors.Is(err, core.ErrCompile) {
+		t.Errorf("compile class: got %v", err)
+	}
+
+	in = mustNew(t, Config{HangRate: 1})
+	ev := core.WithTimeout(in.Evaluator(base), 5*time.Millisecond)
+	if _, err := ev(context.Background(), dev, &p, 64); !errors.Is(err, core.ErrTimeout) {
+		t.Errorf("hang class under timeout middleware: got %v", err)
+	}
+
+	in = mustNew(t, Config{TransientRate: 1, TransientFails: 2})
+	flaky := in.Evaluator(base)
+	for i := 0; i < 2; i++ {
+		if _, err := flaky(context.Background(), dev, &p, 64); !errors.Is(err, core.ErrTransient) {
+			t.Fatalf("transient attempt %d: got %v", i, err)
+		}
+	}
+	if gf, err := flaky(context.Background(), dev, &p, 64); err != nil || gf != 100 {
+		t.Errorf("transient must recover after TransientFails: (%v, %v)", gf, err)
+	}
+
+	in = mustNew(t, Config{PanicRate: 1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic class must panic")
+			}
+		}()
+		in.Evaluator(base)(context.Background(), dev, &p, 64)
+	}()
+
+	in = mustNew(t, Config{WrongResultRate: 1, WrongBoost: 2})
+	if gf, err := in.Evaluator(base)(context.Background(), dev, &p, 64); err != nil || gf != 200 {
+		t.Errorf("wrong class must boost the score: (%v, %v)", gf, err)
+	}
+	if err := in.Verifier(nil)(dev, &p); !errors.Is(err, core.ErrWrongResult) {
+		t.Errorf("verifier must reject wrong-result kernels: %v", err)
+	}
+	if in.GatedWrongResults() != 1 {
+		t.Errorf("gated count = %d, want 1", in.GatedWrongResults())
+	}
+}
+
+func TestNoiseIsDeterministicAndBounded(t *testing.T) {
+	base := func(ctx context.Context, d *device.Spec, p *codegen.Params, n int) (float64, error) {
+		return 100, nil
+	}
+	in := mustNew(t, Config{Seed: 3, NoiseFrac: 0.05})
+	p := codegen.Params{Mwg: 32, Nwg: 32, Kwg: 32,
+		MdimC: 8, NdimC: 8, MdimA: 8, NdimB: 8, Kwi: 2, VectorWidth: 1}
+	ev := in.Evaluator(base)
+	a, _ := ev(context.Background(), device.Tahiti(), &p, 64)
+	b, _ := ev(context.Background(), device.Tahiti(), &p, 64)
+	if a != b {
+		t.Errorf("noise must be deterministic per (candidate, size): %v vs %v", a, b)
+	}
+	if a < 95 || a > 105 {
+		t.Errorf("noise must stay within ±5%%: %v", a)
+	}
+	c, _ := ev(context.Background(), device.Tahiti(), &p, 128)
+	if c == a {
+		t.Logf("note: different sizes coincided (possible but unlikely)")
+	}
+}

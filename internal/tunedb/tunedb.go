@@ -110,8 +110,16 @@ func (r Record) Params() (codegen.Params, error) {
 	return p, p.Validate()
 }
 
+// FormatVersion is the on-disk database format this package writes and
+// accepts. Bump it when the record schema changes incompatibly.
+const FormatVersion = 1
+
 // DB is a set of records keyed by (device, precision).
 type DB struct {
+	// Version is the file format version; Save stamps FormatVersion
+	// and Load rejects anything else (including files with no version,
+	// the signature of truncation or a pre-versioning writer).
+	Version int      `json:"version"`
 	Records []Record `json:"records"`
 }
 
@@ -150,8 +158,9 @@ func (db *DB) Put(rec Record) {
 	})
 }
 
-// Save writes the database as indented JSON.
+// Save writes the database as indented JSON, stamping FormatVersion.
 func (db *DB) Save(path string) error {
+	db.Version = FormatVersion
 	data, err := json.MarshalIndent(db, "", "  ")
 	if err != nil {
 		return err
@@ -159,7 +168,10 @@ func (db *DB) Save(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// Load reads a database written by Save, validating every record.
+// Load reads a database written by Save. Corrupted or truncated files
+// are rejected rather than silently accepted: the JSON must parse, the
+// format version must match, and every record must reconstruct valid
+// parameters — the error names the offending record's index.
 func Load(path string) (*DB, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -167,14 +179,18 @@ func Load(path string) (*DB, error) {
 	}
 	var db DB
 	if err := json.Unmarshal(data, &db); err != nil {
-		return nil, fmt.Errorf("tunedb: %s: %w", path, err)
+		return nil, fmt.Errorf("tunedb: %s: corrupt or truncated: %w", path, err)
 	}
-	for _, r := range db.Records {
+	if db.Version != FormatVersion {
+		return nil, fmt.Errorf("tunedb: %s: format version %d, want %d (missing version marks a truncated or pre-versioning file)",
+			path, db.Version, FormatVersion)
+	}
+	for i, r := range db.Records {
 		if _, err := r.Params(); err != nil {
-			return nil, fmt.Errorf("tunedb: %s: record %s/%s: %w", path, r.Device, r.Precision, err)
+			return nil, fmt.Errorf("tunedb: %s: record %d (%s/%s): %w", path, i, r.Device, r.Precision, err)
 		}
 		if _, err := device.ByID(r.Device); err != nil && r.Device != "cypress" && r.Device != "sandybridge-sdk2012" {
-			return nil, fmt.Errorf("tunedb: %s: %w", path, err)
+			return nil, fmt.Errorf("tunedb: %s: record %d: %w", path, i, err)
 		}
 	}
 	return &db, nil
@@ -187,7 +203,7 @@ func PaperTableII() *DB {
 	mk := func(devID string, p codegen.Params, gf float64, n int) Record {
 		return FromParams(devID, p, gf, n, "paper-table2")
 	}
-	db := &DB{}
+	db := &DB{Version: FormatVersion}
 	recs := []Record{
 		mk("tahiti", codegen.Params{Precision: matrix.Double, Algorithm: codegen.BA,
 			Mwg: 96, Nwg: 32, Kwg: 48, MdimC: 16, NdimC: 16, MdimA: 16, NdimB: 16,

@@ -3,6 +3,7 @@ package tunedb
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"oclgemm/internal/device"
@@ -141,5 +142,45 @@ func TestGetMiss(t *testing.T) {
 	db := &DB{}
 	if _, ok := db.Get("tahiti", matrix.Double); ok {
 		t.Error("empty DB must miss")
+	}
+}
+
+func TestLoadRejectsVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.json")
+
+	// A pre-versioning (or truncated-header) file has version 0.
+	if err := os.WriteFile(path, []byte(`{"records":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "format version") {
+		t.Errorf("missing version must be rejected with a version error, got %v", err)
+	}
+
+	if err := os.WriteFile(path, []byte(`{"version":99,"records":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "format version 99") {
+		t.Errorf("future version must be rejected naming the version, got %v", err)
+	}
+
+	// Save stamps the current version so its files load back.
+	db := &DB{}
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if back, err := Load(path); err != nil || back.Version != FormatVersion {
+		t.Errorf("Save must stamp FormatVersion: (%+v, %v)", back, err)
+	}
+}
+
+func TestLoadReportsBadRecordIndex(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.json")
+	content := `{"version":1,"records":[{"device":"tahiti","precision":"double","algorithm":"BA","mwg":7,"nwg":8,"kwg":4,"mdimc":4,"ndimc":4,"kwi":2,"vw":1,"layout_a":"CBL","layout_b":"CBL"}]}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "record 0") {
+		t.Errorf("bad record must be reported with its index, got %v", err)
 	}
 }

@@ -32,6 +32,11 @@
 package oclgemm
 
 import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
 	"oclgemm/internal/blas"
 	"oclgemm/internal/codegen"
 	"oclgemm/internal/core"
@@ -131,6 +136,24 @@ type TuneOptions struct {
 	MaxCandidates int
 	// MaxSize is the largest stage-2 problem size (0 = 8192).
 	MaxSize int
+
+	// EvalTimeout bounds each kernel evaluation; hung evaluations are
+	// rejected as timeouts instead of stalling the search (0 = no
+	// timeout).
+	EvalTimeout time.Duration
+	// MaxRetries re-attempts transient evaluation failures with
+	// exponential backoff (0 = no retries).
+	MaxRetries int
+	// Verify runs each finalist's generated kernel on the simulated
+	// runtime and disqualifies any whose results disagree with the
+	// reference GEMM (the paper's "passed testing" step).
+	Verify bool
+	// JournalPath enables checkpoint/resume: stage-1 progress appends
+	// to this JSON-lines file, and an interrupted run re-launched with
+	// the same path resumes instead of restarting.
+	JournalPath string
+	// Context cancels a running search (nil = background).
+	Context context.Context
 }
 
 // CurvePoint is one (N, GFlop/s) sample of a tuned kernel.
@@ -147,8 +170,20 @@ type TuneResult struct {
 	// Curve is performance across problem sizes (Fig. 7 line).
 	Curve []CurvePoint
 	// Candidates counts the stage-1 kernel variants measured; Rejected
-	// counts variants that failed generation or device checks.
+	// counts variants that failed generation, compilation, testing or
+	// the correctness gate.
 	Candidates, Rejected int
+	// RejectedBy breaks Rejected down by cause ("generation",
+	// "compile", "timeout", "transient", "wrong-result", "panic",
+	// "other").
+	RejectedBy map[string]int
+	// Resumed counts stage-1 measurements replayed from the
+	// checkpoint journal rather than re-evaluated.
+	Resumed int
+	// Fallback is empty for a genuine search result; TuneOrFallback
+	// sets it to a description of the degradation when the search
+	// failed and a published kernel was substituted.
+	Fallback string
 }
 
 // Tune runs the paper's three-stage search (§III-F) and returns the
@@ -159,6 +194,11 @@ func Tune(opts TuneOptions) (*TuneResult, error) {
 		Precision:     opts.Precision,
 		MaxCandidates: opts.MaxCandidates,
 		MaxSize:       opts.MaxSize,
+		EvalTimeout:   opts.EvalTimeout,
+		MaxRetries:    opts.MaxRetries,
+		Verify:        opts.Verify,
+		JournalPath:   opts.JournalPath,
+		Context:       opts.Context,
 	})
 	if err != nil {
 		return nil, err
@@ -167,12 +207,86 @@ func Tune(opts TuneOptions) (*TuneResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TuneResult{
+	res := &TuneResult{
 		Params:     sel.Best.Params,
 		GFlops:     sel.Best.Best,
 		BestN:      sel.Best.BestN,
 		Curve:      sel.Best.Curve,
 		Candidates: sel.Stats.Enumerated,
 		Rejected:   sel.Stats.Rejected,
+		Resumed:    sel.Stats.Resumed,
+	}
+	if len(sel.Stats.RejectedBy) > 0 {
+		res.RejectedBy = make(map[string]int, len(sel.Stats.RejectedBy))
+		for c, n := range sel.Stats.RejectedBy {
+			res.RejectedBy[c.String()] = n
+		}
+	}
+	return res, nil
+}
+
+// TuneOrFallback runs Tune and degrades gracefully: if the search fails
+// (interrupted, no viable kernel, invalid options with a usable
+// device), it falls back to the paper's published Table II kernel for
+// the device — or, for an uncatalogued device, the nearest catalogued
+// device of the same kind by peak performance — and reports the
+// degradation in TuneResult.Fallback. It errors only when no fallback
+// kernel is valid for the device.
+func TuneOrFallback(opts TuneOptions) (*TuneResult, error) {
+	res, err := Tune(opts)
+	if err == nil {
+		return res, nil
+	}
+	if opts.Device == nil {
+		return nil, err
+	}
+	rec, how, ferr := fallbackRecord(opts.Device, opts.Precision)
+	if ferr != nil {
+		return nil, fmt.Errorf("tuning failed (%w) and no fallback kernel: %v", err, ferr)
+	}
+	p, perr := rec.Params()
+	if perr != nil {
+		return nil, fmt.Errorf("tuning failed (%w) and fallback record invalid: %v", err, perr)
+	}
+	return &TuneResult{
+		Params:   p,
+		GFlops:   rec.GFlops,
+		BestN:    rec.BestN,
+		Fallback: fmt.Sprintf("search failed (%v); using %s (%s)", err, how, rec.Source),
 	}, nil
+}
+
+// fallbackRecord finds the published kernel for the device, preferring
+// an exact ID match and degrading to the nearest same-kind device by
+// peak GFlop/s whose kernel passes the device checks.
+func fallbackRecord(d *Device, prec Precision) (TunedKernel, string, error) {
+	db := PaperKernels()
+	if rec, ok := db.Get(d.ID, prec); ok {
+		if p, err := rec.Params(); err == nil && p.CheckDevice(d) == nil {
+			return rec, "published kernel for " + d.ID, nil
+		}
+	}
+	peak := d.PeakGFlops(prec)
+	best, bestHow, bestDist := TunedKernel{}, "", math.Inf(1)
+	for _, cand := range Devices() {
+		if cand.Kind != d.Kind || cand.ID == d.ID {
+			continue
+		}
+		rec, ok := db.Get(cand.ID, prec)
+		if !ok {
+			continue
+		}
+		p, err := rec.Params()
+		if err != nil || p.CheckDevice(d) != nil {
+			continue
+		}
+		if dist := math.Abs(cand.PeakGFlops(prec) - peak); dist < bestDist {
+			best, bestDist = rec, dist
+			bestHow = fmt.Sprintf("nearest-device kernel from %s", cand.ID)
+		}
+	}
+	if bestHow == "" {
+		return best, "", fmt.Errorf("no published kernel is valid for device %s", d.ID)
+	}
+	return best, bestHow, nil
 }

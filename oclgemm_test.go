@@ -1,6 +1,7 @@
 package oclgemm
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -129,5 +130,69 @@ func TestRunSingleFacade(t *testing.T) {
 func TestTuneRequiresDevice(t *testing.T) {
 	if _, err := Tune(TuneOptions{}); err == nil {
 		t.Error("Tune without device must fail")
+	}
+}
+
+func TestTuneOrFallbackUsesPublishedKernel(t *testing.T) {
+	dev, err := DeviceByID("tahiti")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the search is dead on arrival: forces the fallback path
+	opts := TuneOptions{Device: dev, Precision: Single, MaxCandidates: 500, Context: ctx}
+
+	if _, err := Tune(opts); err == nil {
+		t.Fatal("cancelled Tune must fail")
+	}
+	res, err := TuneOrFallback(opts)
+	if err != nil {
+		t.Fatalf("TuneOrFallback must degrade, not fail: %v", err)
+	}
+	if res.Fallback == "" {
+		t.Error("fallback result must report the degradation")
+	}
+	rec, ok := PaperKernels().Get("tahiti", Single)
+	if !ok {
+		t.Fatal("paper DB misses tahiti single")
+	}
+	want, err := rec.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Params != want {
+		t.Errorf("fallback must return the published Table II kernel:\n%+v\n%+v", res.Params, want)
+	}
+	if res.GFlops != rec.GFlops {
+		t.Errorf("fallback GFlops = %v, want published %v", res.GFlops, rec.GFlops)
+	}
+
+	// An uncatalogued device degrades to the nearest same-kind device.
+	clone := *dev
+	clone.ID = "tahiti-custom"
+	opts.Device = &clone
+	res, err = TuneOrFallback(opts)
+	if err != nil {
+		t.Fatalf("nearest-device fallback must work: %v", err)
+	}
+	if !strings.Contains(res.Fallback, "nearest-device") {
+		t.Errorf("uncatalogued device must use the nearest-device path: %q", res.Fallback)
+	}
+}
+
+func TestTuneOrFallbackPassesThroughSuccess(t *testing.T) {
+	dev, err := DeviceByID("tahiti")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TuneOrFallback(TuneOptions{Device: dev, Precision: Single, MaxCandidates: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback != "" {
+		t.Errorf("successful search must not be marked as fallback: %q", res.Fallback)
+	}
+	if res.GFlops <= 0 {
+		t.Error("successful search must carry a measured performance")
 	}
 }
