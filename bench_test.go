@@ -326,6 +326,99 @@ func BenchmarkReferenceGEMM(b *testing.B) {
 	}
 }
 
+// --- Execution engine ----------------------------------------------------------
+
+func benchGEMMParams() (*device.Spec, codegen.Params) {
+	return device.Tahiti(), codegen.Params{
+		Precision: matrix.Double, Algorithm: codegen.BA,
+		Mwg: 32, Nwg: 32, Kwg: 16, MdimC: 8, NdimC: 8, MdimA: 8, NdimB: 8,
+		Kwi: 2, VectorWidth: 1, SharedB: true,
+		LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL,
+	}
+}
+
+func benchGEMMOperands(n int) (a, bm, c *Matrix[float64]) {
+	rng := rand.New(rand.NewSource(5))
+	a = NewMatrix[float64](n, n, ColMajor)
+	bm = NewMatrix[float64](n, n, ColMajor)
+	c = NewMatrix[float64](n, n, ColMajor)
+	a.FillRandom(rng)
+	bm.FillRandom(rng)
+	return
+}
+
+// BenchmarkGEMMColdPath rebuilds the routine every call: context,
+// device buffers and kernels are constructed and torn down per
+// iteration — the setup cost the execution engine exists to amortize.
+func BenchmarkGEMMColdPath(b *testing.B) {
+	d, p := benchGEMMParams()
+	am, bm, cm := benchGEMMOperands(96)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := NewGEMM(d, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := g.Run(NoTrans, NoTrans, 1.0, am, bm, 0.0, cm); err != nil {
+			b.Fatal(err)
+		}
+		g.Close()
+	}
+}
+
+// BenchmarkGEMMPlanReuse is the steady-state counterpart: one routine,
+// repeated calls. The plan, buffers and packed operands are reused, so
+// allocations per op should be near zero (compare with the cold path).
+func BenchmarkGEMMPlanReuse(b *testing.B) {
+	d, p := benchGEMMParams()
+	g, err := NewGEMM(d, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	am, bm, cm := benchGEMMOperands(96)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Run(NoTrans, NoTrans, 1.0, am, bm, 0.0, cm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGEMMBatch runs a batch sharing one A operand (one weight
+// matrix against a stream of inputs), the engine's intended serving
+// shape.
+func BenchmarkGEMMBatch(b *testing.B) {
+	d, p := benchGEMMParams()
+	g, err := NewGEMM(d, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	n := 96
+	am, _, _ := benchGEMMOperands(n)
+	rng := rand.New(rand.NewSource(6))
+	calls := make([]GEMMCall[float64], 8)
+	for i := range calls {
+		bm := NewMatrix[float64](n, n, ColMajor)
+		bm.FillRandom(rng)
+		calls[i] = GEMMCall[float64]{
+			TransA: NoTrans, TransB: NoTrans,
+			Alpha: 1.0, A: am, B: bm,
+			Beta: 0, C: NewMatrix[float64](n, n, ColMajor),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := RunBatch(g, calls); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFullGEMMFunctional measures the complete host-side routine
 // (pack + simulate + unpack) on a modest problem.
 func BenchmarkFullGEMMFunctional(b *testing.B) {

@@ -10,8 +10,15 @@ import (
 // tuned kernel: C ← α·op(A)·op(B) + β·C for all four transpose types,
 // on row- or column-major data of any size (operands are copied into
 // zero-padded block-major buffers first, as in the paper's §IV-B).
+//
+// The routine owns a reusable execution engine: the simulated context,
+// device buffers and pack/GEMM kernels for each padded problem shape
+// are built on first use and kept for subsequent calls, and repeated
+// calls with an unchanged A or B operand skip that operand's copy
+// entirely. Steady-state calls therefore do near-zero allocation; see
+// Close to release the cached device state. Safe for concurrent use.
 type GEMM struct {
-	impl *gemmimpl.Impl
+	eng *gemmimpl.Engine
 }
 
 // NewGEMM builds a routine from a device and kernel parameters
@@ -21,36 +28,58 @@ func NewGEMM(d *Device, p Params) (*GEMM, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &GEMM{impl: im}, nil
+	return &GEMM{eng: gemmimpl.NewEngine(im)}, nil
 }
 
 // Params returns the kernel parameter set the routine uses.
-func (g *GEMM) Params() Params { return g.impl.Params }
+func (g *GEMM) Params() Params { return g.eng.Impl().Params }
 
 // Device returns the device the routine is bound to.
-func (g *GEMM) Device() *Device { return g.impl.Dev }
+func (g *GEMM) Device() *Device { return g.eng.Impl().Dev }
+
+// SetWorkers bounds the number of goroutines executing independent
+// work-groups per kernel launch (0 = GOMAXPROCS, 1 = serial). Results
+// are identical for every setting; only wall-clock time changes.
+func (g *GEMM) SetWorkers(n int) { g.eng.Impl().Workers = n }
+
+// Close releases the engine's cached plans (device buffers, kernels).
+// The routine remains usable; the next call rebuilds its plan.
+func (g *GEMM) Close() { g.eng.Close() }
 
 // Run computes C ← alpha·op(A)·op(B) + beta·C functionally on the
 // simulated device. The element type T must match the routine's
 // precision (float32 for Single, float64 for Double).
 func Run[T Scalar](g *GEMM, transA, transB Transpose, alpha T, a, b *Matrix[T], beta T, c *Matrix[T]) error {
-	return gemmimpl.Run(g.impl, transA, transB, alpha, a, b, beta, c)
+	return gemmimpl.EngineRun(g.eng, transA, transB, alpha, a, b, beta, c)
 }
 
 // Run is a convenience method for float64 (DGEMM) routines.
 func (g *GEMM) Run(transA, transB Transpose, alpha float64, a, b *Matrix[float64], beta float64, c *Matrix[float64]) error {
-	return gemmimpl.Run(g.impl, transA, transB, alpha, a, b, beta, c)
+	return gemmimpl.EngineRun(g.eng, transA, transB, alpha, a, b, beta, c)
 }
 
 // RunSingle is the float32 (SGEMM) counterpart of Run.
 func (g *GEMM) RunSingle(transA, transB Transpose, alpha float32, a, b *Matrix[float32], beta float32, c *Matrix[float32]) error {
-	return gemmimpl.Run(g.impl, transA, transB, alpha, a, b, beta, c)
+	return gemmimpl.EngineRun(g.eng, transA, transB, alpha, a, b, beta, c)
+}
+
+// GEMMCall is one multiplication of a batch:
+// C ← Alpha·op(A)·op(B) + Beta·C.
+type GEMMCall[T Scalar] = gemmimpl.Call[T]
+
+// RunBatch executes the calls in order through g's execution engine,
+// stopping at the first error. Calls that share a padded problem shape
+// reuse one plan, and consecutive calls with an unchanged A or B skip
+// that operand's copy — the intended API for repeated GEMM traffic
+// (e.g. one weight matrix against a stream of inputs).
+func RunBatch[T Scalar](g *GEMM, calls []GEMMCall[T]) error {
+	return gemmimpl.RunBatch(g.eng, calls)
 }
 
 // ModelGFlops returns the modeled performance of the full routine
 // (kernel plus copy overhead) for an m×n×k problem.
 func (g *GEMM) ModelGFlops(m, n, k int) (float64, error) {
-	return g.impl.GFlops(m, n, k)
+	return g.eng.Impl().GFlops(m, n, k)
 }
 
 // Reference computes C ← alpha·op(A)·op(B) + beta·C with the pure-Go

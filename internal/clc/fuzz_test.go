@@ -72,8 +72,13 @@ func FuzzInterpretTinyKernel(f *testing.F) {
 		}
 		ctx := clsim.NewContext(&clsim.Device{Spec: device.Tahiti()})
 		q := clsim.NewQueue(ctx)
+		// Fuzzed kernels may write the same global location from every
+		// work-item (undefined behaviour in OpenCL); single-item groups
+		// dispatched serially keep such inputs deterministic instead of
+		// racing.
+		q.Workers = 1
 		// Run may return an error (runtime faults); it must not panic
 		// or deadlock.
-		_ = q.Run(bk, clsim.NDRange{Global: [2]int{4, 1}, Local: [2]int{2, 1}})
+		_ = q.Run(bk, clsim.NDRange{Global: [2]int{4, 1}, Local: [2]int{1, 1}})
 	})
 }

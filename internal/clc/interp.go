@@ -671,9 +671,9 @@ func (in *interp) call(c *Call) value {
 		b := in.eval(c.Args[1])
 		if a.t.IsInt() && b.t.IsInt() {
 			if c.Fun == "min" {
-				return intVal(minInt(a.i, b.i))
+				return intVal(min(a.i, b.i))
 			}
-			return intVal(maxInt(a.i, b.i))
+			return intVal(max(a.i, b.i))
 		}
 		x, y := a.lane(0), b.lane(0)
 		v := floatVal("double", 1)
@@ -702,16 +702,3 @@ func (in *interp) call(c *Call) value {
 	panic(errAt(c, "unknown function %q", c.Fun))
 }
 
-func minInt(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}

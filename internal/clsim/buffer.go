@@ -31,6 +31,7 @@ func (c *Context) CreateBuffer(size int) (*Buffer, error) {
 	}
 	c.allocated += int64(size)
 	c.buffers++
+	c.created++
 	return &Buffer{
 		ctx:   c,
 		size:  size,
@@ -51,6 +52,7 @@ func (b *Buffer) Release() {
 	b.ctx.mu.Lock()
 	b.ctx.allocated -= int64(b.size)
 	b.ctx.buffers--
+	b.ctx.released++
 	b.ctx.mu.Unlock()
 	b.words = nil
 }

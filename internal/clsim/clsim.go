@@ -55,6 +55,8 @@ type Context struct {
 	mu        sync.Mutex
 	allocated int64
 	buffers   int
+	created   int64
+	released  int64
 }
 
 // NewContext creates a context on the device.
@@ -79,6 +81,32 @@ func (c *Context) LiveBuffers() int {
 	return c.buffers
 }
 
+// BufferStats is the context's lifetime buffer accounting: leak tests
+// assert Created == Released (equivalently Live == 0) once every owner
+// has cleaned up, including error paths.
+type BufferStats struct {
+	// Created counts every successful CreateBuffer.
+	Created int64
+	// Released counts every first Release of a buffer.
+	Released int64
+	// Live is the number of unreleased buffers (Created - Released).
+	Live int
+	// LiveBytes is the total size of unreleased buffers.
+	LiveBytes int64
+}
+
+// BufferStats returns a snapshot of the context's buffer accounting.
+func (c *Context) BufferStats() BufferStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return BufferStats{
+		Created:   c.created,
+		Released:  c.released,
+		Live:      c.buffers,
+		LiveBytes: c.allocated,
+	}
+}
+
 // QueueStats aggregates what a command queue has executed.
 type QueueStats struct {
 	KernelLaunches int
@@ -101,6 +129,13 @@ type Queue struct {
 	// code. Set it before the first launch; it must be safe for
 	// concurrent calls.
 	LaunchHook func(kernelName string) error
+
+	// Workers bounds the number of goroutines executing independent
+	// work-groups of one kernel launch (0 = GOMAXPROCS). Workers == 1
+	// runs the groups serially on the calling goroutine. Work-groups
+	// write disjoint output regions, so results are identical for every
+	// worker count.
+	Workers int
 
 	mu    sync.Mutex
 	stats QueueStats

@@ -148,30 +148,41 @@ func (g *GroupRun) GlobalID0(lx int) int { return g.id[0]*g.nd.Local[0] + lx }
 // GlobalID1 returns the global id in dimension 1 for local id ly.
 func (g *GroupRun) GlobalID1(ly int) int { return g.id[1]*g.nd.Local[1] + ly }
 
-// Run executes a WorkItemKernel over the NDRange with one goroutine per
-// work-item inside each group (true concurrent execution with a cyclic
-// barrier). Work-groups are distributed over a worker pool. Kernel
-// panics become errors.
-func (q *Queue) Run(k WorkItemKernel, nd NDRange) error {
-	if err := nd.Validate(q.Ctx.Device); err != nil {
-		return fmt.Errorf("kernel %s: %w", k.Name(), err)
+// workerCount resolves the queue's Workers option: 0 (or negative)
+// means one worker per available CPU.
+func (q *Queue) workerCount() int {
+	if q.Workers > 0 {
+		return q.Workers
 	}
-	if err := q.launchAllowed(k.Name()); err != nil {
-		return err
-	}
-	groups := nd.NumGroups()
-	var firstErr atomic.Value
-	var barriers int64
+	return runtime.GOMAXPROCS(0)
+}
 
+// forEachGroup dispatches every work-group id of the NDRange to run,
+// either serially (one worker) or over a pool of worker goroutines.
+// Work-groups of one launch are independent in the OpenCL execution
+// model, so the schedule cannot change results. The first error wins.
+func (q *Queue) forEachGroup(nd NDRange, run func(gid [2]int) error) error {
+	groups := nd.NumGroups()
+	if q.workerCount() == 1 {
+		var firstErr error
+		for gy := 0; gy < groups[1]; gy++ {
+			for gx := 0; gx < groups[0]; gx++ {
+				if err := run([2]int{gx, gy}); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		return firstErr
+	}
+	var firstErr atomic.Value
 	work := make(chan [2]int)
 	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	for w := 0; w < workers; w++ {
+	for w := 0; w < q.workerCount(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for gid := range work {
-				if err := q.runGroupConcurrent(k, nd, gid, &barriers); err != nil {
+				if err := run(gid); err != nil {
 					firstErr.CompareAndSwap(nil, err)
 				}
 			}
@@ -184,9 +195,30 @@ func (q *Queue) Run(k WorkItemKernel, nd NDRange) error {
 	}
 	close(work)
 	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return err
+	}
+	return nil
+}
+
+// Run executes a WorkItemKernel over the NDRange with one goroutine per
+// work-item inside each group (true concurrent execution with a cyclic
+// barrier). Work-groups are distributed over the queue's worker pool.
+// Kernel panics become errors.
+func (q *Queue) Run(k WorkItemKernel, nd NDRange) error {
+	if err := nd.Validate(q.Ctx.Device); err != nil {
+		return fmt.Errorf("kernel %s: %w", k.Name(), err)
+	}
+	if err := q.launchAllowed(k.Name()); err != nil {
+		return err
+	}
+	var barriers int64
+	err := q.forEachGroup(nd, func(gid [2]int) error {
+		return q.runGroupConcurrent(k, nd, gid, &barriers)
+	})
 
 	q.addLaunch(int64(nd.TotalGroups()), int64(nd.Global[0])*int64(nd.Global[1]), barriers)
-	if err, ok := firstErr.Load().(error); ok && err != nil {
+	if err != nil {
 		return fmt.Errorf("kernel %s: %w", k.Name(), err)
 	}
 	return nil
@@ -235,7 +267,8 @@ func (q *Queue) runGroupConcurrent(k WorkItemKernel, nd NDRange, gid [2]int, bar
 }
 
 // RunLockstep executes a GroupKernel over the NDRange, distributing
-// groups over a worker pool. Kernel panics become errors.
+// independent groups over the queue's worker pool (bounded by the
+// Workers option). Kernel panics become errors.
 func (q *Queue) RunLockstep(k GroupKernel, nd NDRange) error {
 	if err := nd.Validate(q.Ctx.Device); err != nil {
 		return fmt.Errorf("kernel %s: %w", k.Name(), err)
@@ -243,41 +276,21 @@ func (q *Queue) RunLockstep(k GroupKernel, nd NDRange) error {
 	if err := q.launchAllowed(k.Name()); err != nil {
 		return err
 	}
-	groups := nd.NumGroups()
-	var firstErr atomic.Value
 	var barriers int64
-
-	work := make(chan [2]int)
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for gid := range work {
-				func() {
-					g := &GroupRun{Group: &Group{id: gid, nd: nd, dev: q.Ctx.Device}}
-					defer func() {
-						atomic.AddInt64(&barriers, g.barriers)
-						if r := recover(); r != nil {
-							firstErr.CompareAndSwap(nil, recoveredError(r))
-						}
-					}()
-					k.RunGroup(g)
-				}()
+	err := q.forEachGroup(nd, func(gid [2]int) (err error) {
+		g := &GroupRun{Group: &Group{id: gid, nd: nd, dev: q.Ctx.Device}}
+		defer func() {
+			atomic.AddInt64(&barriers, g.barriers)
+			if r := recover(); r != nil {
+				err = recoveredError(r)
 			}
 		}()
-	}
-	for gy := 0; gy < groups[1]; gy++ {
-		for gx := 0; gx < groups[0]; gx++ {
-			work <- [2]int{gx, gy}
-		}
-	}
-	close(work)
-	wg.Wait()
+		k.RunGroup(g)
+		return nil
+	})
 
 	q.addLaunch(int64(nd.TotalGroups()), int64(nd.Global[0])*int64(nd.Global[1]), barriers)
-	if err, ok := firstErr.Load().(error); ok && err != nil {
+	if err != nil {
 		return fmt.Errorf("kernel %s: %w", k.Name(), err)
 	}
 	return nil

@@ -19,7 +19,6 @@ import (
 	"oclgemm/internal/clsim"
 	"oclgemm/internal/codegen"
 	"oclgemm/internal/device"
-	"oclgemm/internal/kernels"
 	"oclgemm/internal/matrix"
 	"oclgemm/internal/perfmodel"
 )
@@ -29,6 +28,16 @@ import (
 type Impl struct {
 	Dev    *device.Spec
 	Params codegen.Params
+
+	// Workers bounds the work-group parallelism of kernel launches
+	// issued by plans built from this implementation (0 = GOMAXPROCS,
+	// 1 = serial); see clsim.Queue.Workers.
+	Workers int
+
+	// LaunchHook is copied onto the command queue of every plan built
+	// from this implementation (fault injection; see
+	// clsim.Queue.LaunchHook).
+	LaunchHook func(kernelName string) error
 }
 
 // New validates the kernel parameters against the device.
@@ -55,117 +64,21 @@ func (im *Impl) padded(m, n, k int) (mp, np, kp int) {
 // simulated device. A, B, C may be stored in either order (the paper's
 // §IV-B evaluation uses column-major); op(A) must be m×k, op(B) k×n
 // and C m×n.
+//
+// Run is the one-shot (cold) path: it builds a transient Plan, executes
+// it once and releases it. Serving paths with repeated calls should
+// hold a Plan, PlanCache or Engine instead, which amortize the setup.
 func Run[T matrix.Scalar](im *Impl, ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T]) error {
-	m, n := c.Rows, c.Cols
-	am, ak := a.Rows, a.Cols
-	if ta == blas.Trans {
-		am, ak = ak, am
-	}
-	bk, bn := b.Rows, b.Cols
-	if tb == blas.Trans {
-		bk, bn = bn, bk
-	}
-	if am != m || bn != n || ak != bk {
-		return fmt.Errorf("gemmimpl: dimension mismatch: op(A) %dx%d, op(B) %dx%d, C %dx%d", am, ak, bk, bn, m, n)
-	}
-	k := ak
-	p := im.Params
-	mp, np, kp := im.padded(m, n, k)
-
-	dev := &clsim.Device{Spec: im.Dev}
-	ctx := clsim.NewContext(dev)
-	q := clsim.NewQueue(ctx)
-	esz := p.Precision.Size()
-
-	// Copy phase, on the device (§III-D): pack op(A)ᵀ into a K×M buffer
-	// and op(B) into a K×N buffer in the kernel's layouts, zero-padded;
-	// C is padded into row-major. Column-major hosts hand over their
-	// storage as the row-major transpose, which just flips the copy
-	// kernel's transpose flag.
-	bufA, err := devicePack(ctx, q, a, ta == blas.NoTrans, codegen.PackParams{
-		Precision: p.Precision, Layout: p.LayoutA, Rb: p.Kwg, Cb: p.Mwg,
-	}, kp, mp, esz)
+	m, n, k, err := gemmDims(ta, tb, a, b, c)
 	if err != nil {
 		return err
 	}
-	defer bufA.Release()
-	bufB, err := devicePack(ctx, q, b, tb == blas.Trans, codegen.PackParams{
-		Precision: p.Precision, Layout: p.LayoutB, Rb: p.Kwg, Cb: p.Nwg,
-	}, kp, np, esz)
+	plan, err := NewPlan[T](im, m, n, k)
 	if err != nil {
 		return err
 	}
-	defer bufB.Release()
-	bufC, err := devicePack(ctx, q, c, false, codegen.PackParams{
-		Precision: p.Precision, Layout: matrix.LayoutRowMajor, Rb: p.Mwg, Cb: p.Nwg,
-	}, mp, np, esz)
-	if err != nil {
-		return err
-	}
-	defer bufC.Release()
-
-	kern, err := kernels.NewGEMM(p, mp, np, kp, alpha, view[T](bufA), view[T](bufB), beta, view[T](bufC))
-	if err != nil {
-		return err
-	}
-	if err := q.RunLockstep(kern, kern.NDRange()); err != nil {
-		return err
-	}
-	cp := make([]T, mp*np)
-	if err := readBuf(q, bufC, cp); err != nil {
-		return err
-	}
-
-	// Unpad into the caller's C.
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			c.Set(i, j, cp[i*np+j])
-		}
-	}
-	return nil
-}
-
-// devicePack uploads src and runs the §III-D copy kernel, returning the
-// packed R×C device buffer. transpose is relative to the logical
-// matrix; the physical flag accounts for column-major storage.
-func devicePack[T matrix.Scalar](ctx *clsim.Context, q *clsim.Queue, src *matrix.Matrix[T],
-	transpose bool, pp codegen.PackParams, r, c, esz int) (*clsim.Buffer, error) {
-	sr, sc := src.Rows, src.Cols
-	if src.Order == matrix.ColMajor {
-		sr, sc = sc, sr
-		transpose = !transpose
-	}
-	pp.Transpose = transpose
-
-	bufS, err := ctx.CreateBuffer(maxInt(len(src.Data), 1) * esz)
-	if err != nil {
-		return nil, err
-	}
-	defer bufS.Release()
-	if err := writeBuf(q, bufS, src.Data); err != nil {
-		return nil, err
-	}
-	bufD, err := ctx.CreateBuffer(r * c * esz)
-	if err != nil {
-		return nil, err
-	}
-	pk, err := kernels.NewPack(pp, sr, sc, src.Stride, r, c, view[T](bufS), view[T](bufD))
-	if err != nil {
-		bufD.Release()
-		return nil, err
-	}
-	if err := q.RunLockstep(pk, pk.NDRange()); err != nil {
-		bufD.Release()
-		return nil, err
-	}
-	return bufD, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	defer plan.Close()
+	return plan.Run(ta, tb, alpha, a, b, beta, c)
 }
 
 func view[T matrix.Scalar](b *clsim.Buffer) []T {

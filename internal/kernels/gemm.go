@@ -78,6 +78,13 @@ func NewGEMM[T matrix.Scalar](p codegen.Params, m, n, k int, alpha T, a []T, b [
 // Name implements clsim.GroupKernel.
 func (g *GEMM[T]) Name() string { return g.P.Name() }
 
+// SetScalars updates α and β for the next launch, letting a prebuilt
+// kernel instance be relaunched with different scalars (the execution
+// engine reuses one instance across repeated calls).
+func (g *GEMM[T]) SetScalars(alpha, beta T) {
+	g.Alpha, g.Beta = alpha, beta
+}
+
 // NDRange returns the launch geometry: one work-item per (MdimC, NdimC)
 // cell of each (M/Mwg)×(N/Nwg) work-group grid.
 func (g *GEMM[T]) NDRange() clsim.NDRange {
@@ -218,7 +225,10 @@ func (g *GEMM[T]) compute(s *state[T], run *clsim.GroupRun, gx, gy, pwg, k0, kLe
 	})
 }
 
-// merge writes α·acc + β·C back to global C (line 13 of Fig. 4).
+// merge writes α·acc + β·C back to global C (line 13 of Fig. 4). Per
+// BLAS semantics C is not read when β == 0, so NaN/Inf-poisoned or
+// uninitialized output buffers cannot corrupt the result (0·NaN = NaN
+// would otherwise leak through).
 func (g *GEMM[T]) merge(s *state[T], run *clsim.GroupRun, gx, gy int) {
 	p := &g.P
 	run.ForAll(func(lx, ly int) {
@@ -229,7 +239,11 @@ func (g *GEMM[T]) merge(s *state[T], run *clsim.GroupRun, gx, gy int) {
 			for j := 0; j < s.nwi; j++ {
 				n := g.colOf(gy, ly, j)
 				idx := m*g.N + n
-				g.C[idx] = g.Alpha*acc[i*s.nwi+j] + g.Beta*g.C[idx]
+				v := g.Alpha * acc[i*s.nwi+j]
+				if g.Beta != 0 {
+					v += g.Beta * g.C[idx]
+				}
+				g.C[idx] = v
 			}
 		}
 	})

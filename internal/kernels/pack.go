@@ -51,6 +51,22 @@ func (k *Pack[T]) Name() string {
 	return fmt.Sprintf("pack_%s_%dx%d", k.P.Layout, k.P.Rb, k.P.Cb)
 }
 
+// Rebind points a prebuilt pack kernel at a new source (geometry,
+// transpose flag and buffer) keeping the destination shape and layout.
+// The execution engine uses it to relaunch one kernel instance per
+// operand instead of rebuilding kernels every call.
+func (k *Pack[T]) Rebind(sr, sc, ld int, transpose bool, s []T) error {
+	if ld < sc {
+		return fmt.Errorf("kernels: pack LD %d below SC %d", ld, sc)
+	}
+	if sr > 0 && len(s) < (sr-1)*ld+sc {
+		return fmt.Errorf("kernels: pack source buffer too small")
+	}
+	k.SR, k.SC, k.LD, k.S = sr, sc, ld, s
+	k.P.Transpose = transpose
+	return nil
+}
+
 // NDRange returns the launch geometry.
 func (k *Pack[T]) NDRange() clsim.NDRange {
 	g, l := k.P.PackNDRange(k.R, k.C)

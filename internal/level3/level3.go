@@ -58,9 +58,13 @@ var ErrNotSPD = errors.New("level3: matrix is not positive definite")
 var ErrSingular = errors.New("level3: matrix is singular")
 
 // Engine runs Level-3 routines with the device GEMM as the bulk
-// operation.
+// operation. Block multiplies route through a reusable gemmimpl.Engine,
+// so the factorization inner loops (SYRK/TRSM/Cholesky/LU) reuse plans
+// across block shapes and skip repacking operands that are unchanged
+// between consecutive calls (e.g. the fixed panel of a TRSM or SYRK
+// sweep).
 type Engine struct {
-	impl *gemmimpl.Impl
+	eng *gemmimpl.Engine
 	// NB is the blocking size; diagonal blocks of NB×NB run on the
 	// host, everything else through the device GEMM.
 	NB int
@@ -74,16 +78,24 @@ func New(d *device.Spec, p codegen.Params) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	nb := p.Mwg
-	if p.Nwg > nb {
-		nb = p.Nwg
-	}
-	return &Engine{impl: im, NB: nb}, nil
+	nb := max(p.Mwg, p.Nwg)
+	return &Engine{eng: gemmimpl.NewEngine(im), NB: nb}, nil
 }
+
+// GEMMEngine exposes the underlying execution engine (plan-reuse stats
+// for tests and tools).
+func (e *Engine) GEMMEngine() *gemmimpl.Engine { return e.eng }
+
+// SetWorkers bounds per-launch work-group parallelism (0 = GOMAXPROCS).
+func (e *Engine) SetWorkers(n int) { e.eng.Impl().Workers = n }
+
+// Close releases the engine's cached plans (device buffers, kernels).
+// The engine remains usable; the next call rebuilds its plans.
+func (e *Engine) Close() { e.eng.Close() }
 
 // gemm routes one block multiply through the device.
 func gemmDev[T matrix.Scalar](e *Engine, ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T]) error {
-	return gemmimpl.Run(e.impl, ta, tb, alpha, a, b, beta, c)
+	return gemmimpl.EngineRun(e.eng, ta, tb, alpha, a, b, beta, c)
 }
 
 func blocks(n, nb int) []int {

@@ -169,10 +169,15 @@ type TuneResult struct {
 	BestN int
 	// Curve is performance across problem sizes (Fig. 7 line).
 	Curve []CurvePoint
-	// Candidates counts the stage-1 kernel variants measured; Rejected
-	// counts variants that failed generation, compilation, testing or
-	// the correctness gate.
+	// Candidates counts the valid kernel variants enumerated in the
+	// (sampled) parameter space — the stage-1 sweep's input, not the
+	// number actually measured (see Measured). Rejected counts variants
+	// that failed generation, compilation, testing or the correctness
+	// gate.
 	Candidates, Rejected int
+	// Measured counts the stage-1 kernel variants whose evaluation was
+	// attempted (including journal replays); Measured <= Candidates.
+	Measured int
 	// RejectedBy breaks Rejected down by cause ("generation",
 	// "compile", "timeout", "transient", "wrong-result", "panic",
 	// "other").
@@ -213,6 +218,7 @@ func Tune(opts TuneOptions) (*TuneResult, error) {
 		BestN:      sel.Best.BestN,
 		Curve:      sel.Best.Curve,
 		Candidates: sel.Stats.Enumerated,
+		Measured:   sel.Stats.Measured,
 		Rejected:   sel.Stats.Rejected,
 		Resumed:    sel.Stats.Resumed,
 	}

@@ -63,6 +63,11 @@ func TestTuneAndRunEndToEnd(t *testing.T) {
 	if res.GFlops <= 0 || len(res.Curve) == 0 || res.Candidates <= 0 {
 		t.Fatalf("degenerate tune result: %+v", res)
 	}
+	// Candidates counts the enumerated sweep input; Measured counts the
+	// variants whose evaluation was actually attempted.
+	if res.Measured <= 0 || res.Measured > res.Candidates {
+		t.Fatalf("measured accounting: Measured=%d Candidates=%d", res.Measured, res.Candidates)
+	}
 	eff := res.GFlops / d.PeakGFlops(Double)
 	if eff < 0.3 || eff > 1.1 {
 		t.Errorf("Fermi DGEMM efficiency %.2f implausible", eff)

@@ -54,6 +54,14 @@ func NewSolver(d *Device, p Params) (*Solver, error) {
 // the host, everything else through the device GEMM.
 func (s *Solver) BlockSize() int { return s.eng.NB }
 
+// SetWorkers bounds the number of goroutines executing independent
+// work-groups per device kernel launch (0 = GOMAXPROCS, 1 = serial).
+func (s *Solver) SetWorkers(n int) { s.eng.SetWorkers(n) }
+
+// Close releases the solver's cached device state (execution plans,
+// buffers). The solver remains usable; the next call rebuilds plans.
+func (s *Solver) Close() { s.eng.Close() }
+
 // SYRK computes C ← alpha·A·op(A)ᵀ… precisely: for trans == NoTrans,
 // C ← alpha·A·Aᵀ + beta·C; for trans == Trans, C ← alpha·Aᵀ·A + beta·C,
 // updating only the uplo triangle of C.
