@@ -3,18 +3,68 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"oclgemm/internal/clsim"
+	"oclgemm/internal/device"
 	"oclgemm/internal/experiments"
 	"oclgemm/internal/matrix"
 )
 
+// catalogEntry is the machine-readable shape of one catalog device.
+type catalogEntry struct {
+	ID           string  `json:"id"`
+	Name         string  `json:"name"`
+	Product      string  `json:"product"`
+	Kind         string  `json:"kind"`
+	ClockGHz     float64 `json:"clock_ghz"`
+	ComputeUnits int     `json:"compute_units"`
+	PeakGFlopsSP float64 `json:"peak_gflops_single"`
+	PeakGFlopsDP float64 `json:"peak_gflops_double"`
+	GlobalMemGB  float64 `json:"global_mem_gb"`
+	BandwidthGBs float64 `json:"bandwidth_gbs"`
+	LocalMemKB   int     `json:"local_mem_kb"`
+	LocalMemKind string  `json:"local_mem_kind"`
+	MaxWGSize    int     `json:"max_workgroup_size"`
+	OpenCLSDK    string  `json:"opencl_sdk"`
+}
+
 func main() {
 	table := flag.Bool("table", false, "print Table I instead of the per-device listing")
+	jsonOut := flag.Bool("json", false, "emit the device catalog as JSON")
 	flag.Parse()
+
+	if *jsonOut {
+		var cat []catalogEntry
+		for _, s := range device.Catalog() {
+			cat = append(cat, catalogEntry{
+				ID:           s.ID,
+				Name:         s.CodeName,
+				Product:      s.Product,
+				Kind:         s.Kind.String(),
+				ClockGHz:     s.ClockGHz,
+				ComputeUnits: s.ComputeUnits,
+				PeakGFlopsSP: s.PeakGFlops(matrix.Single),
+				PeakGFlopsDP: s.PeakGFlops(matrix.Double),
+				GlobalMemGB:  s.GlobalMemGB,
+				BandwidthGBs: s.BandwidthGBs,
+				LocalMemKB:   s.LocalMemKB,
+				LocalMemKind: s.LocalMem.String(),
+				MaxWGSize:    s.MaxWGSize,
+				OpenCLSDK:    s.OpenCLSDK,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cat); err != nil {
+			fmt.Fprintln(os.Stderr, "clinfo:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *table {
 		fmt.Print(experiments.NewSession(experiments.Config{}).Table1().Render())

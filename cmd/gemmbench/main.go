@@ -13,10 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"strings"
 	"time"
 
+	"oclgemm"
 	"oclgemm/internal/experiments"
 	"oclgemm/internal/matrix"
 )
@@ -35,7 +37,15 @@ func main() {
 	budget := flag.Int("budget", 12000, "tuner stage-1 candidate budget per search")
 	maxSize := flag.Int("maxsize", 8192, "largest stage-2 problem size")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	pool := flag.Bool("pool", false, "partition one GEMM across the whole device pool and compare against the best single device")
 	flag.Parse()
+
+	if *pool {
+		if err := runPool(*maxSize, *csv); err != nil {
+			log.Fatalf("pool: %v", err)
+		}
+		return
+	}
 
 	s := experiments.NewSession(experiments.Config{MaxCandidates: *budget, MaxSize: *maxSize})
 
@@ -91,4 +101,112 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runPool demonstrates the multi-device scheduler: one functional GEMM
+// partitioned across the full Table I pool (verified against the
+// reference definition, with the per-device tile breakdown), then the
+// modeled partition of a maxSize-class problem with its aggregate
+// speedup over the best single member.
+func runPool(maxSize int, csv bool) error {
+	pg, err := oclgemm.NewPoolGEMM(oclgemm.PoolOptions{})
+	if err != nil {
+		return err
+	}
+	defer pg.Close()
+
+	// Functional leg: small enough to simulate, large enough that every
+	// member gets tiles.
+	const fm, fn, fk = 256, 224, 96
+	a := oclgemm.NewMatrix[float64](fm, fk, oclgemm.RowMajor)
+	b := oclgemm.NewMatrix[float64](fk, fn, oclgemm.RowMajor)
+	c := oclgemm.NewMatrix[float64](fm, fn, oclgemm.RowMajor)
+	rng := rand.New(rand.NewSource(1))
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	c.FillRandom(rng)
+	want := c.Clone()
+
+	start := time.Now()
+	if err := pg.Run(oclgemm.NoTrans, oclgemm.NoTrans, 1.25, a, b, 0.5, c); err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	// The partitioning invariant: the pool result is bit-identical to
+	// the same GEMM on one device (here tahiti with its published
+	// Table II kernel).
+	p, ok, err := oclgemm.ParamsFor(oclgemm.PaperKernels(), "tahiti", oclgemm.Double)
+	if err != nil || !ok {
+		return fmt.Errorf("tahiti Table II kernel: ok=%v err=%v", ok, err)
+	}
+	d, err := oclgemm.DeviceByID("tahiti")
+	if err != nil {
+		return err
+	}
+	g, err := oclgemm.NewGEMM(d, p)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	if err := g.Run(oclgemm.NoTrans, oclgemm.NoTrans, 1.25, a, b, 0.5, want); err != nil {
+		return err
+	}
+	for i := 0; i < fm; i++ {
+		for j := 0; j < fn; j++ {
+			if c.At(i, j) != want.At(i, j) {
+				return fmt.Errorf("pool[%d,%d] = %v, single-device %v — not bit-identical", i, j, c.At(i, j), want.At(i, j))
+			}
+		}
+	}
+
+	// Modeled leg: the maxSize-class partition the paper's Table III
+	// problems imply, for both precisions.
+	estD, err := pg.Estimate(oclgemm.Double, maxSize, maxSize, maxSize)
+	if err != nil {
+		return err
+	}
+	estS, err := pg.Estimate(oclgemm.Single, maxSize, maxSize, maxSize)
+	if err != nil {
+		return err
+	}
+
+	if csv {
+		fmt.Println("section,device,kernel,tiles,stolen,retries,bytes_moved,busy_s,model_s")
+		for _, st := range pg.Stats() {
+			fmt.Printf("functional,%s,,%d,%d,%d,%d,%.6f,%.6f\n",
+				st.Device, st.Tiles, st.Stolen, st.Retries, st.BytesMoved, st.BusySeconds, st.ModelSeconds)
+		}
+		fmt.Println("section,precision,device,kernel,solo_gflops,tiles,share,seconds")
+		for _, est := range []*oclgemm.PoolEstimate{estD, estS} {
+			for _, me := range est.Members {
+				fmt.Printf("modeled,%s,%s,%s,%.1f,%d,%.4f,%.4f\n",
+					est.Precision, me.Device, me.Kernel, me.SoloGFlops, me.Tiles, me.Share, me.Seconds)
+			}
+			fmt.Printf("modeled-total,%s,pool,,%.1f,%d,1.0000,%.4f\n", est.Precision, est.GFlops, est.Tiles, est.Seconds)
+			fmt.Printf("modeled-best-single,%s,%s,,%.1f,,,\n", est.Precision, est.BestSingleDevice, est.BestSingleGFlops)
+			fmt.Printf("modeled-speedup,%s,,,%.2f,,,\n", est.Precision, est.Speedup)
+		}
+		return nil
+	}
+
+	fmt.Printf("PoolGEMM: %d-device pool, functional %dx%dx%d DGEMM in %s (bit-exact vs single-device GEMM)\n\n",
+		pg.Alive(), fm, fn, fk, wall.Round(time.Millisecond))
+	fmt.Printf("%-22s %6s %7s %8s %12s %10s\n", "device", "tiles", "stolen", "retries", "bytes", "busy")
+	for _, st := range pg.Stats() {
+		fmt.Printf("%-22s %6d %7d %8d %12d %9.3fs\n",
+			st.Device, st.Tiles, st.Stolen, st.Retries, st.BytesMoved, st.BusySeconds)
+	}
+	for _, est := range []*oclgemm.PoolEstimate{estD, estS} {
+		fmt.Printf("\nModeled %s %dx%dx%d partition (%dx%d tiles):\n",
+			est.Precision, est.M, est.N, est.K, est.TileM, est.TileN)
+		fmt.Printf("  %-22s %-34s %10s %6s %7s %9s\n", "device", "kernel", "solo GF/s", "tiles", "share", "seconds")
+		for _, me := range est.Members {
+			fmt.Printf("  %-22s %-34s %10.1f %6d %6.1f%% %8.3fs\n",
+				me.Device, me.Kernel, me.SoloGFlops, me.Tiles, 100*me.Share, me.Seconds)
+		}
+		fmt.Printf("  aggregate: %.1f GF/s in %.3fs — %.2fx the best single device (%s, %.1f GF/s)\n",
+			est.GFlops, est.Seconds, est.Speedup, est.BestSingleDevice, est.BestSingleGFlops)
+	}
+	return nil
 }

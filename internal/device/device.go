@@ -171,9 +171,10 @@ func (s *Spec) LocalMemBytes() int { return s.LocalMemKB * 1024 }
 // String returns "CodeName (Product)".
 func (s *Spec) String() string { return fmt.Sprintf("%s (%s)", s.CodeName, s.Product) }
 
-// ByID returns the device with the given ID from All.
+// ByID returns the device with the given ID from Catalog (the six
+// Table I processors plus the Cypress and SDK-2012 variants).
 func ByID(id string) (*Spec, error) {
-	for _, d := range All() {
+	for _, d := range Catalog() {
 		if d.ID == id {
 			return d, nil
 		}
@@ -196,4 +197,11 @@ func IDs() []string {
 // variants used by Fig. 11) without affecting the catalog.
 func All() []*Spec {
 	return []*Spec{Tahiti(), Cayman(), Kepler(), Fermi(), SandyBridge(), Bulldozer()}
+}
+
+// Catalog returns every catalogued spec: Table I's six processors plus
+// the Cypress (§IV-C) and Sandy Bridge SDK-2012 (Fig. 11) variants —
+// the full set a multi-device pool may draw members from.
+func Catalog() []*Spec {
+	return append(All(), Cypress(), SandyBridgeSDK2012())
 }

@@ -48,6 +48,13 @@ func New(d *device.Spec, p codegen.Params) (*Impl, error) {
 	return &Impl{Dev: d, Params: p}, nil
 }
 
+// Dims validates operand shapes against C and returns the problem
+// dimensions m, n, k — exported for layers that partition a GEMM before
+// running it (the multi-device scheduler).
+func Dims[T matrix.Scalar](ta, tb blas.Transpose, a, b, c *matrix.Matrix[T]) (m, n, k int, err error) {
+	return gemmDims(ta, tb, a, b, c)
+}
+
 // padded returns the kernel-ready problem dimensions for an m×n×k
 // multiplication.
 func (im *Impl) padded(m, n, k int) (mp, np, kp int) {
@@ -122,30 +129,14 @@ type Breakdown struct {
 }
 
 // Time models the execution time of C ← α·op(A)·op(B) + β·C including
-// the copy overhead. The GEMM type does not change the cost: the copy
-// pass handles transposition at the same price, which is why the
-// paper's Table III shows almost type-independent performance for this
-// implementation.
+// the copy overhead (perfmodel.RoutineTime with this implementation's
+// device and parameters).
 func (im *Impl) Time(m, n, k int) (Breakdown, error) {
-	var out Breakdown
-	kb, err := perfmodel.KernelTime(im.Dev, &im.Params, m, n, k)
+	rb, err := perfmodel.RoutineTime(im.Dev, &im.Params, m, n, k)
 	if err != nil {
-		return out, err
+		return Breakdown{}, err
 	}
-	mp, np, kp := im.padded(m, n, k)
-	esz := float64(im.Params.Precision.Size())
-
-	// Copy kernels read the source and write the padded destination.
-	bytes := (float64(m*k) + float64(kp*mp)) * esz // A
-	bytes += (float64(k*n) + float64(kp*np)) * esz // B
-	if mp != m || np != n {
-		bytes += (float64(m*n) + float64(mp*np)) * esz // C pad copy
-	}
-	copyBW := im.Dev.BandwidthGBs * 1e9 * im.Dev.CopyBWFrac
-	out.CopySeconds = bytes/copyBW + 2*im.Dev.LaunchOverheadUS*1e-6
-	out.Kernel = kb
-	out.TotalSeconds = kb.Total + out.CopySeconds
-	return out, nil
+	return Breakdown{Kernel: rb.Kernel, CopySeconds: rb.CopySeconds, TotalSeconds: rb.TotalSeconds}, nil
 }
 
 // GFlops returns the modeled performance of the full routine for the

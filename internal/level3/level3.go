@@ -18,6 +18,7 @@ import (
 	"oclgemm/internal/device"
 	"oclgemm/internal/gemmimpl"
 	"oclgemm/internal/matrix"
+	"oclgemm/internal/sched"
 )
 
 // Uplo selects the triangle of a symmetric/triangular matrix.
@@ -65,6 +66,9 @@ var ErrSingular = errors.New("level3: matrix is singular")
 // sweep).
 type Engine struct {
 	eng *gemmimpl.Engine
+	// pool, when set, routes every bulk multiply through the
+	// multi-device scheduler instead of a single device engine.
+	pool *sched.Pool
 	// NB is the blocking size; diagonal blocks of NB×NB run on the
 	// host, everything else through the device GEMM.
 	NB int
@@ -82,19 +86,47 @@ func New(d *device.Spec, p codegen.Params) (*Engine, error) {
 	return &Engine{eng: gemmimpl.NewEngine(im), NB: nb}, nil
 }
 
+// NewWithPool creates an engine whose bulk multiplies run on a
+// multi-device scheduler pool instead of one device. The block size is
+// the pool's BlockSize (the largest member work-group panel), so every
+// device GEMM call is at least one panel on every member. The engine
+// borrows the pool; closing the engine does not close the pool.
+func NewWithPool(p *sched.Pool) *Engine {
+	return &Engine{pool: p, NB: p.BlockSize()}
+}
+
 // GEMMEngine exposes the underlying execution engine (plan-reuse stats
-// for tests and tools).
+// for tests and tools); nil for a pool-backed engine.
 func (e *Engine) GEMMEngine() *gemmimpl.Engine { return e.eng }
 
+// Pool exposes the scheduler pool of a pool-backed engine (nil for a
+// single-device engine).
+func (e *Engine) Pool() *sched.Pool { return e.pool }
+
 // SetWorkers bounds per-launch work-group parallelism (0 = GOMAXPROCS).
-func (e *Engine) SetWorkers(n int) { e.eng.Impl().Workers = n }
+func (e *Engine) SetWorkers(n int) {
+	if e.pool != nil {
+		e.pool.SetWorkers(n)
+		return
+	}
+	e.eng.Impl().Workers = n
+}
 
 // Close releases the engine's cached plans (device buffers, kernels).
-// The engine remains usable; the next call rebuilds its plans.
-func (e *Engine) Close() { e.eng.Close() }
+// The engine remains usable; the next call rebuilds its plans. A
+// borrowed pool is left open for its owner to close.
+func (e *Engine) Close() {
+	if e.eng != nil {
+		e.eng.Close()
+	}
+}
 
-// gemm routes one block multiply through the device.
+// gemm routes one block multiply through the device — or across the
+// whole pool when the engine is pool-backed.
 func gemmDev[T matrix.Scalar](e *Engine, ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T]) error {
+	if e.pool != nil {
+		return sched.Run(e.pool, ta, tb, alpha, a, b, beta, c)
+	}
 	return gemmimpl.EngineRun(e.eng, ta, tb, alpha, a, b, beta, c)
 }
 

@@ -209,6 +209,56 @@ func KernelTime(d *device.Spec, p *codegen.Params, m, n, k int) (Breakdown, erro
 	return bd, nil
 }
 
+// RoutineBreakdown is the modeled cost of one full GEMM routine call:
+// the kernel plus the §III-D layout-change copies the §IV-B
+// implementation runs before it.
+type RoutineBreakdown struct {
+	Kernel Breakdown
+	// CopySeconds is the modeled time of the layout-change copies of A
+	// and B (and the C pad copy when padding is needed).
+	CopySeconds float64
+	// TotalSeconds includes kernel and copies.
+	TotalSeconds float64
+}
+
+// RoutineTime estimates the full routine: KernelTime plus the copy
+// overhead of re-laying-out A, B (and padding C). The GEMM type does
+// not change the cost — the copy pass handles transposition at the same
+// price — which is why the paper's Table III shows almost
+// type-independent performance. The multi-device scheduler prices tiles
+// with this estimate when partitioning one GEMM across a pool.
+func RoutineTime(d *device.Spec, p *codegen.Params, m, n, k int) (RoutineBreakdown, error) {
+	var out RoutineBreakdown
+	kb, err := KernelTime(d, p, m, n, k)
+	if err != nil {
+		return out, err
+	}
+	mp, np, kp := kb.PaddedM, kb.PaddedN, kb.PaddedK
+	esz := float64(p.Precision.Size())
+
+	// Copy kernels read the source and write the padded destination.
+	bytes := (float64(m*k) + float64(kp*mp)) * esz // A
+	bytes += (float64(k*n) + float64(kp*np)) * esz // B
+	if mp != m || np != n {
+		bytes += (float64(m*n) + float64(mp*np)) * esz // C pad copy
+	}
+	copyBW := d.BandwidthGBs * 1e9 * d.CopyBWFrac
+	out.CopySeconds = bytes/copyBW + 2*d.LaunchOverheadUS*1e-6
+	out.Kernel = kb
+	out.TotalSeconds = kb.Total + out.CopySeconds
+	return out, nil
+}
+
+// RoutineGFlops returns the modeled full-routine performance for the
+// nominal problem size.
+func RoutineGFlops(d *device.Spec, p *codegen.Params, m, n, k int) (float64, error) {
+	bd, err := RoutineTime(d, p, m, n, k)
+	if err != nil {
+		return 0, err
+	}
+	return 2 * float64(m) * float64(n) * float64(k) / bd.TotalSeconds / 1e9, nil
+}
+
 // KernelGFlops returns the modeled performance in GFlop/s for the
 // nominal (unpadded) problem size, as the paper reports it.
 func KernelGFlops(d *device.Spec, p *codegen.Params, m, n, k int) (float64, error) {

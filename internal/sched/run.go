@@ -1,0 +1,268 @@
+// Run-time execution: per-member tile queues, work stealing, fault
+// handling. Each live member gets one worker goroutine that drains its
+// own queue head-first and steals from the largest other queue
+// tail-first when idle; a failed tile is requeued onto the least-loaded
+// surviving member, and a member that keeps failing is declared dead
+// and its queue picked clean by the others.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"oclgemm/internal/blas"
+	"oclgemm/internal/gemmimpl"
+	"oclgemm/internal/matrix"
+)
+
+// runState is the shared state of one Run call: the per-member tile
+// queues and the completion accounting, all under one mutex + cond.
+type runState struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	live    []*member
+	queues  [][]*tile
+	pending int   // tiles not yet completed (queued or in flight)
+	fatal   error // set once; stops every worker
+	lastErr error // most recent tile failure (context for the fatal)
+}
+
+// Run executes C ← alpha·op(A)·op(B) + beta·C across the pool's live
+// members. The result is bit-identical to a single-device run: C is
+// partitioned only over rows and columns, never over K, so every
+// element keeps its accumulation order. Run returns after the last tile
+// completes, or with an error when a tile exhausts its attempts or the
+// whole pool dies mid-call.
+func Run[T matrix.Scalar](p *Pool, ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T]) error {
+	m, n, k, err := gemmimpl.Dims(ta, tb, a, b, c)
+	if err != nil {
+		return err
+	}
+	if m == 0 || n == 0 {
+		return nil
+	}
+	if k <= 0 {
+		return fmt.Errorf("sched: non-positive k %d", k)
+	}
+	live := p.alive()
+	if len(live) == 0 {
+		return ErrNoDevices
+	}
+	prec := precisionOf[T]()
+	tm, tn := p.tileDims(m, n, len(live))
+	tiles := tilesFor(m, n, tm, tn)
+
+	rs := &runState{
+		live:    live,
+		queues:  assign(tiles, live, prec, k),
+		pending: len(tiles),
+	}
+	rs.cond = sync.NewCond(&rs.mu)
+
+	var wg sync.WaitGroup
+	for i, mb := range live {
+		wg.Add(1)
+		go func(me int, mb *member) {
+			defer wg.Done()
+			worker(p, rs, me, mb, ta, tb, alpha, a, b, beta, c, k)
+		}(i, mb)
+	}
+	wg.Wait()
+
+	if rs.fatal != nil {
+		return rs.fatal
+	}
+	if rs.pending > 0 {
+		// Every worker exited (all members dead) with tiles abandoned.
+		err := fmt.Errorf("%w: %d tiles pending", ErrNoDevices, rs.pending)
+		if rs.lastErr != nil {
+			err = fmt.Errorf("%w (last failure: %v)", err, rs.lastErr)
+		}
+		return err
+	}
+	return nil
+}
+
+// worker drains tiles for one member until the run completes, a fatal
+// error is raised, or the member dies.
+func worker[T matrix.Scalar](p *Pool, rs *runState, me int, mb *member, ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T], k int) {
+	prec := precisionOf[T]()
+	for {
+		t, stolen, ok := rs.next(me, mb)
+		if !ok {
+			return
+		}
+		start := time.Now()
+		err := execTile(mb, t, ta, tb, alpha, a, b, beta, c, k)
+		busy := time.Since(start).Seconds()
+		if err != nil {
+			p.tileFailed(rs, me, mb, t, err)
+			if mb.isDead() {
+				return
+			}
+			continue
+		}
+		p.tileDone(rs, mb, prec, t, stolen, busy, k, beta == 0)
+	}
+}
+
+// next returns the member's next tile: its own queue's head, else the
+// largest other queue's tail (a steal), else it waits for in-flight
+// work to finish or fail. ok=false means the worker should exit (run
+// complete, fatal error, or member dead).
+func (rs *runState) next(me int, mb *member) (t *tile, stolen, ok bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for {
+		if rs.fatal != nil || rs.pending == 0 || mb.isDead() {
+			return nil, false, false
+		}
+		if q := rs.queues[me]; len(q) > 0 {
+			t, rs.queues[me] = q[0], q[1:]
+			return t, false, true
+		}
+		victim, most := -1, 0
+		for i, q := range rs.queues {
+			if i != me && len(q) > most {
+				victim, most = i, len(q)
+			}
+		}
+		if victim >= 0 {
+			q := rs.queues[victim]
+			t, rs.queues[victim] = q[len(q)-1], q[:len(q)-1]
+			return t, true, true
+		}
+		// All queues empty but tiles are in flight elsewhere: a failure
+		// may still requeue one onto us. Completion, requeue and fatal
+		// all broadcast.
+		rs.cond.Wait()
+	}
+}
+
+// execTile runs one C tile on a member: operand panels are views into
+// the caller's matrices (the full K extent — never split — of the
+// tile's rows of op(A) and columns of op(B)). When beta == 0 the C view
+// writes straight through (the engine never reads C then, and write-
+// back touches only the tile's own elements). When beta != 0 the tile
+// is staged through a compact private copy: the engine's C upload
+// copies the operand's whole backing slice, which for a shared view
+// would read neighboring tiles while their owners write them.
+func execTile[T matrix.Scalar](mb *member, t *tile, ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T], k int) error {
+	var av, bv *matrix.Matrix[T]
+	if ta == blas.NoTrans {
+		av = a.View(t.i0, 0, t.th, k)
+	} else {
+		av = a.View(0, t.i0, k, t.th)
+	}
+	if tb == blas.NoTrans {
+		bv = b.View(0, t.j0, k, t.tw)
+	} else {
+		bv = b.View(t.j0, 0, t.tw, k)
+	}
+	cv := c.View(t.i0, t.j0, t.th, t.tw)
+	if beta == 0 {
+		return gemmimpl.EngineRun(engineFor[T](mb), ta, tb, alpha, av, bv, beta, cv)
+	}
+	cw := matrix.New[T](t.th, t.tw, c.Order)
+	for i := 0; i < t.th; i++ {
+		for j := 0; j < t.tw; j++ {
+			cw.Set(i, j, cv.At(i, j))
+		}
+	}
+	if err := gemmimpl.EngineRun(engineFor[T](mb), ta, tb, alpha, av, bv, beta, cw); err != nil {
+		return err
+	}
+	for i := 0; i < t.th; i++ {
+		for j := 0; j < t.tw; j++ {
+			cv.Set(i, j, cw.At(i, j))
+		}
+	}
+	return nil
+}
+
+// tileDone records a completed tile and signals waiters when the run
+// finishes.
+func (p *Pool) tileDone(rs *runState, mb *member, prec matrix.Precision, t *tile, stolen bool, busy float64, k int, skipC bool) {
+	// Modeled device time of the tile (pure model, no execution).
+	var model float64
+	if bd, err := mb.impl(prec).Time(t.th, t.tw, k); err == nil {
+		model = bd.TotalSeconds
+	}
+	cmul := 2 // C read + written
+	if skipC {
+		cmul = 1
+	}
+	mb.mu.Lock()
+	mb.consecFails = 0
+	mb.stats.Tiles++
+	if stolen {
+		mb.stats.Stolen++
+	}
+	mb.stats.BusySeconds += busy
+	mb.stats.ModelSeconds += model
+	mb.stats.BytesMoved += int64(t.th*k+k*t.tw+t.th*t.tw*cmul) * int64(prec.Size())
+	mb.mu.Unlock()
+
+	rs.mu.Lock()
+	rs.pending--
+	if rs.pending == 0 {
+		rs.cond.Broadcast()
+	}
+	rs.mu.Unlock()
+}
+
+// tileFailed handles one failed attempt: the member's failure counters
+// advance (declaring it dead at the threshold, or immediately on
+// ErrDeviceDead), and the tile is requeued onto the least-loaded other
+// surviving member — or the call turns fatal when the tile is out of
+// attempts or no survivor remains.
+func (p *Pool) tileFailed(rs *runState, me int, mb *member, t *tile, err error) {
+	mb.mu.Lock()
+	mb.stats.Retries++
+	mb.consecFails++
+	if errors.Is(err, ErrDeviceDead) || mb.consecFails >= p.failThreshold {
+		mb.dead = true
+		mb.stats.Dead = true
+	}
+	mb.mu.Unlock()
+
+	t.attempts++
+	rs.mu.Lock()
+	rs.lastErr = err
+	switch {
+	case rs.fatal != nil:
+		// Another worker already failed the run; drop the tile.
+	case t.attempts >= p.maxAttempts:
+		rs.fatal = fmt.Errorf("sched: tile (%d,%d) %dx%d failed %d times across the pool: %w",
+			t.i0, t.j0, t.th, t.tw, t.attempts, err)
+	case !rs.requeue(t, me):
+		rs.fatal = fmt.Errorf("%w: %d tiles pending (last failure: %v)", ErrNoDevices, rs.pending, err)
+	}
+	rs.cond.Broadcast()
+	rs.mu.Unlock()
+}
+
+// requeue places a failed tile on the least-loaded surviving member,
+// preferring a member other than the one it just failed on. Called with
+// rs.mu held; reports false when no live member can take it.
+func (rs *runState) requeue(t *tile, failedOn int) bool {
+	best, bestLen := -1, 0
+	for i, mb := range rs.live {
+		if i == failedOn || mb.isDead() {
+			continue
+		}
+		if best < 0 || len(rs.queues[i]) < bestLen {
+			best, bestLen = i, len(rs.queues[i])
+		}
+	}
+	if best < 0 {
+		if rs.live[failedOn].isDead() {
+			return false
+		}
+		best = failedOn // sole survivor retries its own tile
+	}
+	rs.queues[best] = append(rs.queues[best], t)
+	return true
+}

@@ -1,0 +1,327 @@
+// Package sched is the multi-device GEMM scheduler: it executes one
+// logical C ← α·op(A)·op(B) + β·C across a pool of simulated devices
+// drawn from the Table I catalog, each member running the tuned kernel
+// the tuning database holds for it.
+//
+// C is partitioned into row/column tile panels (K is never split, so
+// every element's accumulation order — and therefore its bit pattern —
+// is identical to a single-device run). Tiles are statically assigned
+// by modeled per-device throughput (earliest-completion-time list
+// scheduling over perfmodel tile estimates), then rebalanced at run
+// time by a work-stealing queue so a slow or faulted member cannot
+// stall the join. A tile that fails on one device is requeued onto the
+// survivors; a member that keeps failing (or whose launches report
+// ErrDeviceDead after Kill) is declared dead, its queue is picked clean
+// by the survivors, and it takes no further part in this or later runs.
+//
+// Per-member statistics (tiles executed and stolen, bytes moved,
+// retries, busy and modeled device time) make the load balance and the
+// aggregate speedup observable; Estimate previews both for a problem
+// size without executing anything.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"oclgemm/internal/device"
+	"oclgemm/internal/gemmimpl"
+	"oclgemm/internal/matrix"
+	"oclgemm/internal/tunedb"
+)
+
+// ErrDeviceDead marks kernel launches refused because the member was
+// killed or declared dead; the scheduler reroutes the tile and removes
+// the member from the pool.
+var ErrDeviceDead = errors.New("sched: device removed from pool")
+
+// ErrNoDevices reports a Run on a pool whose members are all dead.
+var ErrNoDevices = errors.New("sched: no live devices in pool")
+
+// DefaultFailThreshold is the number of consecutive tile failures after
+// which a member is declared dead and drained.
+const DefaultFailThreshold = 3
+
+// DefaultTilesPerMember sets the auto-partitioner's target tile count
+// per live member: enough grain for stealing to rebalance without
+// drowning the modeled time in per-tile copy overhead.
+const DefaultTilesPerMember = 4
+
+// Options configures a pool.
+type Options struct {
+	// Devices are the pool members (any subset of device.Catalog, one
+	// member per entry). Required, at least one.
+	Devices []*device.Spec
+	// DB supplies tuned kernels per (device, precision); nil selects
+	// the paper's Table II database. Members without a record use the
+	// tunedb nearest-device fallback.
+	DB *tunedb.DB
+	// TileM, TileN force the C tile size (0 = auto: a grid of about
+	// TilesPerMember tiles per live member, aspect-proportional).
+	TileM, TileN int
+	// TilesPerMember tunes the auto partitioner (0 = default).
+	TilesPerMember int
+	// MaxAttempts bounds how often one tile may fail across the whole
+	// pool before the call errors out (0 = 2·len(Devices)+2).
+	MaxAttempts int
+	// FailThreshold is the consecutive-failure count that declares a
+	// member dead (0 = DefaultFailThreshold).
+	FailThreshold int
+	// Workers bounds per-launch work-group parallelism on every member
+	// (0 = GOMAXPROCS, 1 = serial); members always run concurrently
+	// with each other regardless.
+	Workers int
+	// LaunchHook, when set, is consulted before every kernel launch of
+	// every member (fault injection: return an error to fail the
+	// launch). It receives the member's device ID and the kernel name.
+	LaunchHook func(deviceID, kernelName string) error
+}
+
+// DeviceStats is one member's cumulative execution record.
+type DeviceStats struct {
+	// Device is the member's device ID.
+	Device string
+	// Kernel32 and Kernel64 describe where each precision's parameters
+	// came from ("published kernel for X", "nearest-device kernel from Y").
+	Kernel32, Kernel64 string
+	// Tiles counts tiles this member completed; Stolen counts how many
+	// of those it took from another member's queue.
+	Tiles, Stolen int
+	// Retries counts tile attempts that failed on this member.
+	Retries int
+	// BytesMoved totals the host bytes the member's tiles touched
+	// (operand panels in, result tiles out).
+	BytesMoved int64
+	// BusySeconds is wall-clock time spent executing tiles (simulator
+	// cost); ModelSeconds is the modeled device time of the same tiles
+	// (the paper-world cost the load balance aims to equalize).
+	BusySeconds  float64
+	ModelSeconds float64
+	// Dead reports the member was killed or drained out of the pool.
+	Dead bool
+}
+
+// member is one pool slot: a device plus a persistent execution engine
+// (plan cache) per precision, built from the tuning database.
+type member struct {
+	idx int
+	dev *device.Spec
+
+	im32, im64   *gemmimpl.Impl
+	eng32, eng64 *gemmimpl.Engine
+	how32, how64 string
+
+	mu          sync.Mutex
+	dead        bool
+	consecFails int
+	stats       DeviceStats
+}
+
+func (mb *member) isDead() bool {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.dead
+}
+
+func (mb *member) markDead() {
+	mb.mu.Lock()
+	mb.dead = true
+	mb.stats.Dead = true
+	mb.mu.Unlock()
+}
+
+// Pool is a set of devices that jointly execute GEMM calls. Engines,
+// statistics and member health persist across calls; Run partitions and
+// executes one call. Safe for concurrent use, but concurrent Runs share
+// the members (each member serializes its own tiles).
+type Pool struct {
+	opts    Options
+	members []*member
+
+	maxAttempts   int
+	failThreshold int
+}
+
+// New builds a pool: every device resolves its tuned kernel for both
+// precisions from the database (with the Table II nearest-device
+// fallback) and gets a persistent execution engine.
+func New(opts Options) (*Pool, error) {
+	if len(opts.Devices) == 0 {
+		return nil, errors.New("sched: pool needs at least one device")
+	}
+	db := opts.DB
+	if db == nil {
+		db = tunedb.PaperTableII()
+	}
+	p := &Pool{
+		opts:          opts,
+		maxAttempts:   opts.MaxAttempts,
+		failThreshold: opts.FailThreshold,
+	}
+	if p.maxAttempts <= 0 {
+		p.maxAttempts = 2*len(opts.Devices) + 2
+	}
+	if p.failThreshold <= 0 {
+		p.failThreshold = DefaultFailThreshold
+	}
+	for i, d := range opts.Devices {
+		mb, err := p.newMember(i, d, db)
+		if err != nil {
+			return nil, fmt.Errorf("sched: device %s: %w", d.ID, err)
+		}
+		p.members = append(p.members, mb)
+	}
+	return p, nil
+}
+
+func (p *Pool) newMember(idx int, d *device.Spec, db *tunedb.DB) (*member, error) {
+	mb := &member{idx: idx, dev: d}
+	mb.stats.Device = d.ID
+	hook := func(kernelName string) error {
+		if mb.isDead() {
+			return fmt.Errorf("%w: %s", ErrDeviceDead, d.ID)
+		}
+		if p.opts.LaunchHook != nil {
+			return p.opts.LaunchHook(d.ID, kernelName)
+		}
+		return nil
+	}
+	build := func(prec matrix.Precision) (*gemmimpl.Impl, *gemmimpl.Engine, string, error) {
+		rec, how, err := tunedb.LookupOrFallback(db, d, prec)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		params, err := rec.Params()
+		if err != nil {
+			return nil, nil, "", err
+		}
+		im, err := gemmimpl.New(d, params)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		im.Workers = p.opts.Workers
+		im.LaunchHook = hook
+		return im, gemmimpl.NewEngine(im), how, nil
+	}
+	var err error
+	if mb.im32, mb.eng32, mb.how32, err = build(matrix.Single); err != nil {
+		return nil, err
+	}
+	if mb.im64, mb.eng64, mb.how64, err = build(matrix.Double); err != nil {
+		mb.eng32.Close()
+		return nil, err
+	}
+	mb.stats.Kernel32, mb.stats.Kernel64 = mb.how32, mb.how64
+	return mb, nil
+}
+
+// impl returns the member's implementation for a precision.
+func (mb *member) impl(prec matrix.Precision) *gemmimpl.Impl {
+	if prec == matrix.Double {
+		return mb.im64
+	}
+	return mb.im32
+}
+
+// engineFor returns the member's execution engine for the element type.
+func engineFor[T matrix.Scalar](mb *member) *gemmimpl.Engine {
+	var zero T
+	if _, ok := any(zero).(float64); ok {
+		return mb.eng64
+	}
+	return mb.eng32
+}
+
+// precisionOf maps the element type to its precision.
+func precisionOf[T matrix.Scalar]() matrix.Precision {
+	var zero T
+	if _, ok := any(zero).(float64); ok {
+		return matrix.Double
+	}
+	return matrix.Single
+}
+
+// alive returns the live members.
+func (p *Pool) alive() []*member {
+	var out []*member
+	for _, mb := range p.members {
+		if !mb.isDead() {
+			out = append(out, mb)
+		}
+	}
+	return out
+}
+
+// Size returns the number of pool members, dead ones included.
+func (p *Pool) Size() int { return len(p.members) }
+
+// Alive returns the number of live members.
+func (p *Pool) Alive() int { return len(p.alive()) }
+
+// Devices returns the member devices in pool order.
+func (p *Pool) Devices() []*device.Spec {
+	out := make([]*device.Spec, len(p.members))
+	for i, mb := range p.members {
+		out[i] = mb.dev
+	}
+	return out
+}
+
+// Kill marks every member with the device ID dead: in-flight launches
+// fail with ErrDeviceDead, queued tiles are stolen by the survivors,
+// and later Runs exclude the member. It reports whether any member
+// matched.
+func (p *Pool) Kill(deviceID string) bool {
+	hit := false
+	for _, mb := range p.members {
+		if mb.dev.ID == deviceID {
+			mb.markDead()
+			hit = true
+		}
+	}
+	return hit
+}
+
+// SetWorkers rebounds per-launch work-group parallelism on every
+// member (0 = GOMAXPROCS, 1 = serial).
+func (p *Pool) SetWorkers(n int) {
+	for _, mb := range p.members {
+		mb.im32.Workers = n
+		mb.im64.Workers = n
+	}
+}
+
+// BlockSize returns a blocking size that keeps a level-3 consumer's
+// device GEMM calls at least one work-group panel on every member: the
+// maximum Mwg/Nwg across members and precisions.
+func (p *Pool) BlockSize() int {
+	nb := 1
+	for _, mb := range p.members {
+		for _, im := range []*gemmimpl.Impl{mb.im32, mb.im64} {
+			nb = max(nb, max(im.Params.Mwg, im.Params.Nwg))
+		}
+	}
+	return nb
+}
+
+// Stats returns a snapshot of every member's cumulative statistics, in
+// pool order.
+func (p *Pool) Stats() []DeviceStats {
+	out := make([]DeviceStats, len(p.members))
+	for i, mb := range p.members {
+		mb.mu.Lock()
+		out[i] = mb.stats
+		mb.mu.Unlock()
+	}
+	return out
+}
+
+// Close releases every member's cached plans (device buffers, kernels).
+// The pool remains usable; the next Run rebuilds plans on demand.
+func (p *Pool) Close() {
+	for _, mb := range p.members {
+		mb.eng32.Close()
+		mb.eng64.Close()
+	}
+}

@@ -8,7 +8,9 @@ package tunedb
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 
@@ -16,6 +18,25 @@ import (
 	"oclgemm/internal/device"
 	"oclgemm/internal/matrix"
 )
+
+// ErrNotFound is the sentinel every lookup miss wraps; match it with
+// errors.Is, or errors.As a *NotFoundError for the missing key.
+var ErrNotFound = errors.New("tunedb: no tuned kernel")
+
+// NotFoundError reports a (device, precision) pair the database has no
+// record for, including after the Table II nearest-device fallback.
+type NotFoundError struct {
+	Device    string
+	Precision string
+}
+
+// Error describes the missing key.
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("tunedb: no tuned kernel for device %q (%s)", e.Device, e.Precision)
+}
+
+// Is makes errors.Is(err, ErrNotFound) match.
+func (e *NotFoundError) Is(target error) bool { return target == ErrNotFound }
 
 // Record is one tuned kernel in serializable form (enums as strings so
 // the file is reviewable).
@@ -139,6 +160,53 @@ func (db *DB) Get(deviceID string, prec matrix.Precision) (Record, bool) {
 	return Record{}, false
 }
 
+// Lookup returns the record for a device and precision, or a
+// *NotFoundError (matching ErrNotFound) naming the missing key.
+func (db *DB) Lookup(deviceID string, prec matrix.Precision) (Record, error) {
+	if rec, ok := db.Get(deviceID, prec); ok {
+		return rec, nil
+	}
+	return Record{}, &NotFoundError{Device: deviceID, Precision: prec.String()}
+}
+
+// LookupOrFallback resolves the kernel to run on a device: the exact
+// record when present and valid for the device, otherwise the record of
+// the nearest catalogued device of the same kind by peak GFlop/s whose
+// parameters pass the device checks (the Table II degradation
+// TuneOrFallback and the pool scheduler share). The returned string
+// describes which path was taken; a miss on both paths is a
+// *NotFoundError.
+func LookupOrFallback(db *DB, d *device.Spec, prec matrix.Precision) (Record, string, error) {
+	if rec, err := db.Lookup(d.ID, prec); err == nil {
+		if p, perr := rec.Params(); perr == nil && p.CheckDevice(d) == nil {
+			return rec, "published kernel for " + d.ID, nil
+		}
+	}
+	peak := d.PeakGFlops(prec)
+	best, bestHow, bestDist := Record{}, "", math.Inf(1)
+	for _, cand := range device.Catalog() {
+		if cand.Kind != d.Kind || cand.ID == d.ID {
+			continue
+		}
+		rec, ok := db.Get(cand.ID, prec)
+		if !ok {
+			continue
+		}
+		p, err := rec.Params()
+		if err != nil || p.CheckDevice(d) != nil {
+			continue
+		}
+		if dist := math.Abs(cand.PeakGFlops(prec) - peak); dist < bestDist {
+			best, bestDist = rec, dist
+			bestHow = fmt.Sprintf("nearest-device kernel from %s", cand.ID)
+		}
+	}
+	if bestHow == "" {
+		return best, "", &NotFoundError{Device: d.ID, Precision: prec.String()}
+	}
+	return best, bestHow, nil
+}
+
 // Put inserts or replaces the record for its (device, precision) slot
 // and keeps the database sorted for stable files.
 func (db *DB) Put(rec Record) {
@@ -189,7 +257,7 @@ func Load(path string) (*DB, error) {
 		if _, err := r.Params(); err != nil {
 			return nil, fmt.Errorf("tunedb: %s: record %d (%s/%s): %w", path, i, r.Device, r.Precision, err)
 		}
-		if _, err := device.ByID(r.Device); err != nil && r.Device != "cypress" && r.Device != "sandybridge-sdk2012" {
+		if _, err := device.ByID(r.Device); err != nil {
 			return nil, fmt.Errorf("tunedb: %s: record %d: %w", path, i, err)
 		}
 	}

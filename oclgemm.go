@@ -34,7 +34,6 @@ package oclgemm
 import (
 	"context"
 	"fmt"
-	"math"
 	"time"
 
 	"oclgemm/internal/blas"
@@ -43,6 +42,7 @@ import (
 	"oclgemm/internal/device"
 	"oclgemm/internal/matrix"
 	"oclgemm/internal/perfmodel"
+	"oclgemm/internal/tunedb"
 )
 
 // Precision selects single (SGEMM) or double (DGEMM) precision.
@@ -112,8 +112,14 @@ type Device = device.Spec
 // Devices returns the six processors of Table I.
 func Devices() []*Device { return device.All() }
 
+// DeviceCatalog returns every catalogued processor: Table I's six plus
+// the Cypress (§IV-C) and Sandy Bridge SDK-2012 (Fig. 11) variants —
+// the full set PoolGEMM may draw members from.
+func DeviceCatalog() []*Device { return device.Catalog() }
+
 // DeviceByID looks a device up by its short identifier: "tahiti",
-// "cayman", "kepler", "fermi", "sandybridge" or "bulldozer".
+// "cayman", "kepler", "fermi", "sandybridge", "bulldozer", "cypress"
+// or "sandybridge-sdk2012".
 func DeviceByID(id string) (*Device, error) { return device.ByID(id) }
 
 // GenerateSource emits the OpenCL C kernel for a parameter set.
@@ -264,35 +270,8 @@ func TuneOrFallback(opts TuneOptions) (*TuneResult, error) {
 
 // fallbackRecord finds the published kernel for the device, preferring
 // an exact ID match and degrading to the nearest same-kind device by
-// peak GFlop/s whose kernel passes the device checks.
+// peak GFlop/s whose kernel passes the device checks. A miss on both
+// paths is a typed tunedb.NotFoundError.
 func fallbackRecord(d *Device, prec Precision) (TunedKernel, string, error) {
-	db := PaperKernels()
-	if rec, ok := db.Get(d.ID, prec); ok {
-		if p, err := rec.Params(); err == nil && p.CheckDevice(d) == nil {
-			return rec, "published kernel for " + d.ID, nil
-		}
-	}
-	peak := d.PeakGFlops(prec)
-	best, bestHow, bestDist := TunedKernel{}, "", math.Inf(1)
-	for _, cand := range Devices() {
-		if cand.Kind != d.Kind || cand.ID == d.ID {
-			continue
-		}
-		rec, ok := db.Get(cand.ID, prec)
-		if !ok {
-			continue
-		}
-		p, err := rec.Params()
-		if err != nil || p.CheckDevice(d) != nil {
-			continue
-		}
-		if dist := math.Abs(cand.PeakGFlops(prec) - peak); dist < bestDist {
-			best, bestDist = rec, dist
-			bestHow = fmt.Sprintf("nearest-device kernel from %s", cand.ID)
-		}
-	}
-	if bestHow == "" {
-		return best, "", fmt.Errorf("no published kernel is valid for device %s", d.ID)
-	}
-	return best, bestHow, nil
+	return tunedb.LookupOrFallback(PaperKernels(), d, prec)
 }

@@ -1,0 +1,132 @@
+package oclgemm
+
+import (
+	"oclgemm/internal/sched"
+)
+
+// PoolOptions configures a multi-device GEMM pool.
+type PoolOptions struct {
+	// Devices are the pool members — any subset of DeviceCatalog (nil
+	// selects the paper's full Table I set, Devices()).
+	Devices []*Device
+	// DB supplies the tuned kernel per (device, precision); nil selects
+	// the paper's published Table II database. Devices without a record
+	// fall back to the nearest catalogued device of the same kind.
+	DB *TuningDB
+	// TileM, TileN force the C tile size (0 = automatic, sized from the
+	// live member count).
+	TileM, TileN int
+	// Workers bounds per-launch work-group parallelism on each member
+	// (0 = GOMAXPROCS); members always run concurrently with each other.
+	Workers int
+	// MaxAttempts bounds how often one tile may fail across the pool
+	// before the call errors (0 = 2·members+2); FailThreshold is the
+	// consecutive-failure count that declares a member dead (0 = 3).
+	MaxAttempts, FailThreshold int
+	// LaunchHook, when set, is consulted before every kernel launch on
+	// every member (fault injection: return an error to fail the
+	// launch). It receives the member's device ID and the kernel name.
+	LaunchHook func(deviceID, kernelName string) error
+}
+
+// PoolDeviceStats is one member's cumulative execution record: tiles
+// executed and stolen, retries, bytes moved, busy and modeled time.
+type PoolDeviceStats = sched.DeviceStats
+
+// PoolEstimate is the modeled outcome of partitioning a problem across
+// the pool (per-member shares, makespan, aggregate GFlop/s and speedup
+// over the best single member).
+type PoolEstimate = sched.Estimate
+
+// ErrDeviceDead marks kernel launches refused because a pool member was
+// killed or declared dead.
+var ErrDeviceDead = sched.ErrDeviceDead
+
+// ErrNoDevices reports a pool call with every member dead.
+var ErrNoDevices = sched.ErrNoDevices
+
+// PoolGEMM executes one logical C ← α·op(A)·op(B) + β·C across a pool
+// of simulated devices. C is partitioned into row/column tiles (never
+// over K, so results are bit-identical to a single-device run),
+// statically assigned by modeled per-device throughput and rebalanced
+// at run time by work stealing. A member whose tiles keep failing is
+// declared dead and drained; its work is requeued onto the survivors.
+//
+//	pg, _ := oclgemm.NewPoolGEMM(oclgemm.PoolOptions{})   // full Table I pool
+//	defer pg.Close()
+//	_ = pg.Run(oclgemm.NoTrans, oclgemm.NoTrans, 1, a, b, 0, c)
+//	for _, st := range pg.Stats() { fmt.Println(st.Device, st.Tiles) }
+type PoolGEMM struct {
+	pool *sched.Pool
+}
+
+// NewPoolGEMM builds the pool: every device resolves its tuned kernel
+// for both precisions (Table II, with the nearest-device fallback) and
+// gets a persistent execution engine.
+func NewPoolGEMM(opts PoolOptions) (*PoolGEMM, error) {
+	devs := opts.Devices
+	if len(devs) == 0 {
+		devs = Devices()
+	}
+	pool, err := sched.New(sched.Options{
+		Devices:       devs,
+		DB:            opts.DB,
+		TileM:         opts.TileM,
+		TileN:         opts.TileN,
+		Workers:       opts.Workers,
+		MaxAttempts:   opts.MaxAttempts,
+		FailThreshold: opts.FailThreshold,
+		LaunchHook:    opts.LaunchHook,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &PoolGEMM{pool: pool}, nil
+}
+
+// PoolRun computes C ← alpha·op(A)·op(B) + beta·C across the pool's
+// live members, bit-identical to a single-device run.
+func PoolRun[T Scalar](pg *PoolGEMM, transA, transB Transpose, alpha T, a, b *Matrix[T], beta T, c *Matrix[T]) error {
+	return sched.Run(pg.pool, transA, transB, alpha, a, b, beta, c)
+}
+
+// Run is the convenience method for float64 (DGEMM).
+func (pg *PoolGEMM) Run(transA, transB Transpose, alpha float64, a, b *Matrix[float64], beta float64, c *Matrix[float64]) error {
+	return sched.Run(pg.pool, transA, transB, alpha, a, b, beta, c)
+}
+
+// RunSingle is the float32 (SGEMM) counterpart of Run.
+func (pg *PoolGEMM) RunSingle(transA, transB Transpose, alpha float32, a, b *Matrix[float32], beta float32, c *Matrix[float32]) error {
+	return sched.Run(pg.pool, transA, transB, alpha, a, b, beta, c)
+}
+
+// Devices returns the member devices in pool order (dead ones
+// included).
+func (pg *PoolGEMM) Devices() []*Device { return pg.pool.Devices() }
+
+// Alive returns the number of live members.
+func (pg *PoolGEMM) Alive() int { return pg.pool.Alive() }
+
+// Kill marks the member with the device ID dead: in-flight launches on
+// it fail, its queued tiles migrate to the survivors, and later calls
+// exclude it. It reports whether any member matched.
+func (pg *PoolGEMM) Kill(deviceID string) bool { return pg.pool.Kill(deviceID) }
+
+// Stats returns a snapshot of every member's cumulative statistics, in
+// pool order.
+func (pg *PoolGEMM) Stats() []PoolDeviceStats { return pg.pool.Stats() }
+
+// Estimate models a pool execution of an m×n×k problem without running
+// anything: the partition Run would use, priced by the performance
+// model, with the aggregate speedup over the best single member.
+func (pg *PoolGEMM) Estimate(prec Precision, m, n, k int) (*PoolEstimate, error) {
+	return pg.pool.Estimate(prec, m, n, k)
+}
+
+// SetWorkers bounds per-launch work-group parallelism on every member
+// (0 = GOMAXPROCS, 1 = serial).
+func (pg *PoolGEMM) SetWorkers(n int) { pg.pool.SetWorkers(n) }
+
+// Close releases every member's cached device state. The pool remains
+// usable; the next call rebuilds plans on demand.
+func (pg *PoolGEMM) Close() { pg.pool.Close() }

@@ -50,6 +50,15 @@ func NewSolver(d *Device, p Params) (*Solver, error) {
 	return &Solver{eng: eng}, nil
 }
 
+// NewPoolSolver builds a solver whose bulk multiplies run across a
+// multi-device pool instead of one device: every off-diagonal block
+// GEMM of SYRK/SYMM/TRMM/TRSM/Cholesky/LU is partitioned over the
+// pool's live members. The solver borrows the pool — Close leaves it
+// open for its owner.
+func NewPoolSolver(pg *PoolGEMM) *Solver {
+	return &Solver{eng: level3.NewWithPool(pg.pool)}
+}
+
 // BlockSize returns the blocking size nb: diagonal nb×nb blocks run on
 // the host, everything else through the device GEMM.
 func (s *Solver) BlockSize() int { return s.eng.NB }
