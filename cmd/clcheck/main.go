@@ -16,58 +16,71 @@ import (
 )
 
 func main() {
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: clcheck [file.cl ...]\n")
-		flag.PrintDefaults()
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "clcheck:", err)
+		}
+		os.Exit(1)
 	}
-	verbose := flag.Bool("v", false, "list kernels and their parameters")
-	flag.Parse()
+}
 
-	fail := false
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("clcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: clcheck [file.cl ...]\n")
+		fs.PrintDefaults()
+	}
+	verbose := fs.Bool("v", false, "list kernels and their parameters")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	failed := 0
 	check := func(name, src string) {
 		prog, err := clc.Compile(src)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			fail = true
+			fmt.Fprintf(stderr, "%s: %v\n", name, err)
+			failed++
 			return
 		}
-		fmt.Printf("%s: OK (%d kernel(s))\n", name, len(prog.Kernels))
+		fmt.Fprintf(stdout, "%s: OK (%d kernel(s))\n", name, len(prog.Kernels))
 		if *verbose {
 			for _, k := range prog.Kernels {
-				fmt.Printf("  __kernel %s(", k.Name)
+				fmt.Fprintf(stdout, "  __kernel %s(", k.Name)
 				for i, p := range k.Params {
 					if i > 0 {
-						fmt.Print(", ")
+						fmt.Fprint(stdout, ", ")
 					}
 					ptr := ""
 					if p.Pointer {
 						ptr = "*"
 					}
-					fmt.Printf("%s%s %s", p.Type, ptr, p.Name)
+					fmt.Fprintf(stdout, "%s%s %s", p.Type, ptr, p.Name)
 				}
-				fmt.Println(")")
+				fmt.Fprintln(stdout, ")")
 			}
 		}
 	}
 
-	if flag.NArg() == 0 {
-		src, err := io.ReadAll(os.Stdin)
+	if fs.NArg() == 0 {
+		src, err := io.ReadAll(stdin)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return err
 		}
 		check("<stdin>", string(src))
 	}
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			fail = true
+			fmt.Fprintln(stderr, err)
+			failed++
 			continue
 		}
 		check(path, string(data))
 	}
-	if fail {
-		os.Exit(1)
+	if failed > 0 {
+		return fmt.Errorf("%d input(s) failed to check", failed)
 	}
+	return nil
 }

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/matrix"
+)
+
+func genKernel(t *testing.T) string {
+	t.Helper()
+	p := codegen.Params{
+		Precision: matrix.Single, Algorithm: codegen.BA,
+		Mwg: 16, Nwg: 16, Kwg: 8,
+		MdimC: 4, NdimC: 4, MdimA: 4, NdimB: 4,
+		Kwi: 2, VectorWidth: 1,
+		SharedA: true, SharedB: true,
+		LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL,
+	}
+	src, err := p.GenerateSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestRunChecksGeneratedKernel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gemm.cl")
+	if err := os.WriteFile(path, []byte(genKernel(t)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if err := run([]string{path}, strings.NewReader(""), &out, &errOut); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Errorf("output missing OK: %q", out.String())
+	}
+}
+
+func TestRunFailsOnBadSource(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.cl")
+	if err := os.WriteFile(path, []byte("__kernel void broken( {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if err := run([]string{path}, strings.NewReader(""), &out, &errOut); err == nil {
+		t.Fatal("run succeeded on unparseable source; want error (non-zero exit)")
+	}
+}
+
+func TestRunFailsOnMissingFile(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{filepath.Join(t.TempDir(), "nope.cl")}, strings.NewReader(""), &out, &errOut); err == nil {
+		t.Fatal("run succeeded on missing file; want error")
+	}
+}
+
+func TestRunReadsStdin(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run(nil, strings.NewReader(genKernel(t)), &out, &errOut); err != nil {
+		t.Fatalf("run(stdin): %v", err)
+	}
+	if !strings.Contains(out.String(), "<stdin>: OK") {
+		t.Errorf("output missing stdin OK: %q", out.String())
+	}
+}

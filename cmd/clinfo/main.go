@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"oclgemm/internal/clsim"
@@ -33,9 +34,21 @@ type catalogEntry struct {
 }
 
 func main() {
-	table := flag.Bool("table", false, "print Table I instead of the per-device listing")
-	jsonOut := flag.Bool("json", false, "emit the device catalog as JSON")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "clinfo:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("clinfo", flag.ContinueOnError)
+	table := fs.Bool("table", false, "print Table I instead of the per-device listing")
+	jsonOut := fs.Bool("json", false, "emit the device catalog as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *jsonOut {
 		var cat []catalogEntry
@@ -57,42 +70,38 @@ func main() {
 				OpenCLSDK:    s.OpenCLSDK,
 			})
 		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(cat); err != nil {
-			fmt.Fprintln(os.Stderr, "clinfo:", err)
-			os.Exit(1)
-		}
-		return
+		return enc.Encode(cat)
 	}
 
 	if *table {
-		fmt.Print(experiments.NewSession(experiments.Config{}).Table1().Render())
-		return
+		fmt.Fprint(stdout, experiments.NewSession(experiments.Config{}).Table1().Render())
+		return nil
 	}
 
 	p := clsim.DefaultPlatform()
-	fmt.Printf("Platform:     %s\n", p.Name)
-	fmt.Printf("Vendor:       %s\n", p.Vendor)
-	fmt.Printf("Version:      %s\n", p.Version)
-	fmt.Printf("Devices:      %d\n\n", len(p.Devices))
+	fmt.Fprintf(stdout, "Platform:     %s\n", p.Name)
+	fmt.Fprintf(stdout, "Vendor:       %s\n", p.Vendor)
+	fmt.Fprintf(stdout, "Version:      %s\n", p.Version)
+	fmt.Fprintf(stdout, "Devices:      %d\n\n", len(p.Devices))
 	for _, d := range p.Devices {
 		s := d.Spec
-		fmt.Printf("Device %q (%s)\n", s.CodeName, s.ID)
-		fmt.Printf("  Product:            %s\n", s.Product)
-		fmt.Printf("  Type:               %s\n", s.Kind)
-		fmt.Printf("  Clock:              %.3f GHz\n", s.ClockGHz)
-		fmt.Printf("  Compute units:      %d\n", s.ComputeUnits)
-		fmt.Printf("  Peak DP / SP:       %.1f / %.1f GFlop/s\n",
+		fmt.Fprintf(stdout, "Device %q (%s)\n", s.CodeName, s.ID)
+		fmt.Fprintf(stdout, "  Product:            %s\n", s.Product)
+		fmt.Fprintf(stdout, "  Type:               %s\n", s.Kind)
+		fmt.Fprintf(stdout, "  Clock:              %.3f GHz\n", s.ClockGHz)
+		fmt.Fprintf(stdout, "  Compute units:      %d\n", s.ComputeUnits)
+		fmt.Fprintf(stdout, "  Peak DP / SP:       %.1f / %.1f GFlop/s\n",
 			s.PeakGFlops(matrix.Double), s.PeakGFlops(matrix.Single))
-		fmt.Printf("  Global memory:      %g GB @ %g GB/s\n", s.GlobalMemGB, s.BandwidthGBs)
-		fmt.Printf("  Local memory:       %d kB (%s)\n", s.LocalMemKB, s.LocalMem)
-		fmt.Printf("  Max work-group:     %d\n", s.MaxWGSize)
-		fmt.Printf("  OpenCL SDK:         %s\n", s.OpenCLSDK)
+		fmt.Fprintf(stdout, "  Global memory:      %g GB @ %g GB/s\n", s.GlobalMemGB, s.BandwidthGBs)
+		fmt.Fprintf(stdout, "  Local memory:       %d kB (%s)\n", s.LocalMemKB, s.LocalMem)
+		fmt.Fprintf(stdout, "  Max work-group:     %d\n", s.MaxWGSize)
+		fmt.Fprintf(stdout, "  OpenCL SDK:         %s\n", s.OpenCLSDK)
 		if s.Driver != "" {
-			fmt.Printf("  Driver:             %s\n", s.Driver)
+			fmt.Fprintf(stdout, "  Driver:             %s\n", s.Driver)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
-	os.Exit(0)
+	return nil
 }

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunJSONEmitsCatalog(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var cat []catalogEntry
+	if err := json.Unmarshal([]byte(out.String()), &cat); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(cat) == 0 {
+		t.Fatal("empty catalog")
+	}
+	for _, e := range cat {
+		if e.ID == "" || e.ComputeUnits <= 0 || e.PeakGFlopsSP <= 0 {
+			t.Errorf("degenerate catalog entry: %+v", e)
+		}
+	}
+}
+
+func TestRunDefaultListing(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Platform:") {
+		t.Errorf("listing missing platform header: %q", out.String()[:min(120, out.Len())])
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("run accepted an unknown flag; want error")
+	}
+}

@@ -7,12 +7,20 @@
 //	gemmbench -exp all
 //	gemmbench -exp table2 -budget 25000
 //	gemmbench -exp fig9 -csv
+//
+// The observability flags run an instrumented functional benchmark
+// instead of the modeled experiments:
+//
+//	gemmbench -metrics                 per-phase pack/kernel/copy table
+//	gemmbench -pool -metrics           same, partitioned across the pool
+//	gemmbench -trace out.jsonl         span dump, one JSON object per line
+//	gemmbench -bench-out BENCH_gemm.json   machine-readable report
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"math/rand"
 	"os"
 	"strings"
@@ -30,21 +38,37 @@ type renderable interface {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("gemmbench: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "gemmbench:", err)
+		}
+		os.Exit(1)
+	}
+}
 
-	exp := flag.String("exp", "all", "experiment: all, table1, table2, table3, fig7, fig8, fig9, fig10, fig11, ablation-lds, ablation-layout, bank-conflict, cypress, portability")
-	budget := flag.Int("budget", 12000, "tuner stage-1 candidate budget per search")
-	maxSize := flag.Int("maxsize", 8192, "largest stage-2 problem size")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
-	pool := flag.Bool("pool", false, "partition one GEMM across the whole device pool and compare against the best single device")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gemmbench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment: all, table1, table2, table3, fig7, fig8, fig9, fig10, fig11, ablation-lds, ablation-layout, bank-conflict, cypress, portability")
+	budget := fs.Int("budget", 12000, "tuner stage-1 candidate budget per search")
+	maxSize := fs.Int("maxsize", 8192, "largest stage-2 problem size")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	pool := fs.Bool("pool", false, "partition one GEMM across the whole device pool and compare against the best single device")
+	metrics := fs.Bool("metrics", false, "run the instrumented functional benchmark and print the metrics registry and per-phase breakdown")
+	tracePath := fs.String("trace", "", "run the instrumented functional benchmark and dump its spans to this JSON-lines file")
+	benchOut := fs.String("bench-out", "", "run the instrumented functional benchmark and write a BENCH_gemm.json report to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *metrics || *tracePath != "" || *benchOut != "" {
+		return runInstrumented(stdout, *pool, *metrics, *tracePath, *benchOut)
+	}
 
 	if *pool {
-		if err := runPool(*maxSize, *csv); err != nil {
-			log.Fatalf("pool: %v", err)
+		if err := runPool(stdout, *maxSize, *csv); err != nil {
+			return fmt.Errorf("pool: %w", err)
 		}
-		return
+		return nil
 	}
 
 	s := experiments.NewSession(experiments.Config{MaxCandidates: *budget, MaxSize: *maxSize})
@@ -86,21 +110,130 @@ func main() {
 		start := time.Now()
 		r, err := j.run()
 		if err != nil {
-			log.Fatalf("%s: %v", j.id, err)
+			return fmt.Errorf("%s: %w", j.id, err)
 		}
 		if *csv {
-			fmt.Print(r.CSV())
+			fmt.Fprint(stdout, r.CSV())
 		} else {
-			fmt.Print(r.Render())
-			fmt.Printf("[%s regenerated in %s]\n", j.id, time.Since(start).Round(time.Millisecond))
+			fmt.Fprint(stdout, r.Render())
+			fmt.Fprintf(stdout, "[%s regenerated in %s]\n", j.id, time.Since(start).Round(time.Millisecond))
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if !matched {
-		log.Printf("unknown experiment %q", *exp)
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+	return nil
+}
+
+// runInstrumented executes the functional benchmark with the metrics
+// registry and span trace attached: a warm-path DGEMM loop on one
+// device (tahiti's published Table II kernel), or the same call
+// partitioned across the whole pool. It then renders where the time
+// went and optionally persists the spans and the BENCH_gemm.json
+// report.
+func runInstrumented(stdout io.Writer, pool, showMetrics bool, tracePath, benchOut string) error {
+	reg := oclgemm.NewMetrics()
+	tr := oclgemm.NewTrace(0)
+
+	const m, n, k = 192, 160, 128
+	const iters = 4
+	a := oclgemm.NewMatrix[float64](m, k, oclgemm.RowMajor)
+	b := oclgemm.NewMatrix[float64](k, n, oclgemm.RowMajor)
+	c := oclgemm.NewMatrix[float64](m, n, oclgemm.RowMajor)
+	rng := rand.New(rand.NewSource(1))
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	c.FillRandom(rng)
+
+	mode, device := "single", "tahiti"
+	var runOnce func() error
+	var closer func()
+	if pool {
+		pg, err := oclgemm.NewPoolGEMM(oclgemm.PoolOptions{Metrics: reg, Trace: tr})
+		if err != nil {
+			return err
+		}
+		closer = pg.Close
+		mode = "pool"
+		device = fmt.Sprintf("%d-device pool", pg.Alive())
+		runOnce = func() error { return pg.Run(oclgemm.NoTrans, oclgemm.NoTrans, 1.0, a, b, 0.0, c) }
+	} else {
+		p, ok, err := oclgemm.ParamsFor(oclgemm.PaperKernels(), "tahiti", oclgemm.Double)
+		if err != nil || !ok {
+			return fmt.Errorf("tahiti Table II kernel: ok=%v err=%v", ok, err)
+		}
+		d, err := oclgemm.DeviceByID("tahiti")
+		if err != nil {
+			return err
+		}
+		g, err := oclgemm.NewGEMM(d, p)
+		if err != nil {
+			return err
+		}
+		g.Observe(reg, tr)
+		closer = g.Close
+		runOnce = func() error { return g.Run(oclgemm.NoTrans, oclgemm.NoTrans, 1.0, a, b, 0.0, c) }
+	}
+	defer closer()
+
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := runOnce(); err != nil {
+			return err
+		}
+	}
+	wall := time.Since(start)
+	gflops := float64(iters) * 2 * float64(m) * float64(n) * float64(k) / wall.Seconds() / 1e9
+
+	spans := tr.Snapshot()
+	phases := oclgemm.PhaseBreakdown(spans)
+
+	fmt.Fprintf(stdout, "Instrumented %s DGEMM %dx%dx%d, %d iterations (first cold, rest warm): %s wall, %.2f GFlop/s simulated\n\n",
+		mode, m, n, k, iters, wall.Round(time.Microsecond), gflops)
+	fmt.Fprint(stdout, oclgemm.RenderPhases(phases))
+	if showMetrics {
+		fmt.Fprintf(stdout, "\nMetrics registry:\n%s", reg.Snapshot().Render())
+	}
+
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\n%d spans written to %s (%d dropped by the ring)\n", len(spans), tracePath, tr.Dropped())
+	}
+
+	if benchOut != "" {
+		rep := oclgemm.NewBenchReport(mode)
+		rep.Device = device
+		rep.M, rep.N, rep.K, rep.Iters = m, n, k, iters
+		rep.WallSeconds = wall.Seconds()
+		rep.GFlops = gflops
+		rep.Phases = phases
+		rep.Metrics = reg.Snapshot()
+		f, err := os.Create(benchOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nbenchmark report written to %s\n", benchOut)
+	}
+	return nil
 }
 
 // runPool demonstrates the multi-device scheduler: one functional GEMM
@@ -108,7 +241,7 @@ func main() {
 // reference definition, with the per-device tile breakdown), then the
 // modeled partition of a maxSize-class problem with its aggregate
 // speedup over the best single member.
-func runPool(maxSize int, csv bool) error {
+func runPool(stdout io.Writer, maxSize int, csv bool) error {
 	pg, err := oclgemm.NewPoolGEMM(oclgemm.PoolOptions{})
 	if err != nil {
 		return err
@@ -172,40 +305,40 @@ func runPool(maxSize int, csv bool) error {
 	}
 
 	if csv {
-		fmt.Println("section,device,kernel,tiles,stolen,retries,bytes_moved,busy_s,model_s")
+		fmt.Fprintln(stdout, "section,device,kernel,tiles,stolen,retries,bytes_moved,busy_s,model_s")
 		for _, st := range pg.Stats() {
-			fmt.Printf("functional,%s,,%d,%d,%d,%d,%.6f,%.6f\n",
+			fmt.Fprintf(stdout, "functional,%s,,%d,%d,%d,%d,%.6f,%.6f\n",
 				st.Device, st.Tiles, st.Stolen, st.Retries, st.BytesMoved, st.BusySeconds, st.ModelSeconds)
 		}
-		fmt.Println("section,precision,device,kernel,solo_gflops,tiles,share,seconds")
+		fmt.Fprintln(stdout, "section,precision,device,kernel,solo_gflops,tiles,share,seconds")
 		for _, est := range []*oclgemm.PoolEstimate{estD, estS} {
 			for _, me := range est.Members {
-				fmt.Printf("modeled,%s,%s,%s,%.1f,%d,%.4f,%.4f\n",
+				fmt.Fprintf(stdout, "modeled,%s,%s,%s,%.1f,%d,%.4f,%.4f\n",
 					est.Precision, me.Device, me.Kernel, me.SoloGFlops, me.Tiles, me.Share, me.Seconds)
 			}
-			fmt.Printf("modeled-total,%s,pool,,%.1f,%d,1.0000,%.4f\n", est.Precision, est.GFlops, est.Tiles, est.Seconds)
-			fmt.Printf("modeled-best-single,%s,%s,,%.1f,,,\n", est.Precision, est.BestSingleDevice, est.BestSingleGFlops)
-			fmt.Printf("modeled-speedup,%s,,,%.2f,,,\n", est.Precision, est.Speedup)
+			fmt.Fprintf(stdout, "modeled-total,%s,pool,,%.1f,%d,1.0000,%.4f\n", est.Precision, est.GFlops, est.Tiles, est.Seconds)
+			fmt.Fprintf(stdout, "modeled-best-single,%s,%s,,%.1f,,,\n", est.Precision, est.BestSingleDevice, est.BestSingleGFlops)
+			fmt.Fprintf(stdout, "modeled-speedup,%s,,,%.2f,,,\n", est.Precision, est.Speedup)
 		}
 		return nil
 	}
 
-	fmt.Printf("PoolGEMM: %d-device pool, functional %dx%dx%d DGEMM in %s (bit-exact vs single-device GEMM)\n\n",
+	fmt.Fprintf(stdout, "PoolGEMM: %d-device pool, functional %dx%dx%d DGEMM in %s (bit-exact vs single-device GEMM)\n\n",
 		pg.Alive(), fm, fn, fk, wall.Round(time.Millisecond))
-	fmt.Printf("%-22s %6s %7s %8s %12s %10s\n", "device", "tiles", "stolen", "retries", "bytes", "busy")
+	fmt.Fprintf(stdout, "%-22s %6s %7s %8s %12s %10s\n", "device", "tiles", "stolen", "retries", "bytes", "busy")
 	for _, st := range pg.Stats() {
-		fmt.Printf("%-22s %6d %7d %8d %12d %9.3fs\n",
+		fmt.Fprintf(stdout, "%-22s %6d %7d %8d %12d %9.3fs\n",
 			st.Device, st.Tiles, st.Stolen, st.Retries, st.BytesMoved, st.BusySeconds)
 	}
 	for _, est := range []*oclgemm.PoolEstimate{estD, estS} {
-		fmt.Printf("\nModeled %s %dx%dx%d partition (%dx%d tiles):\n",
+		fmt.Fprintf(stdout, "\nModeled %s %dx%dx%d partition (%dx%d tiles):\n",
 			est.Precision, est.M, est.N, est.K, est.TileM, est.TileN)
-		fmt.Printf("  %-22s %-34s %10s %6s %7s %9s\n", "device", "kernel", "solo GF/s", "tiles", "share", "seconds")
+		fmt.Fprintf(stdout, "  %-22s %-34s %10s %6s %7s %9s\n", "device", "kernel", "solo GF/s", "tiles", "share", "seconds")
 		for _, me := range est.Members {
-			fmt.Printf("  %-22s %-34s %10.1f %6d %6.1f%% %8.3fs\n",
+			fmt.Fprintf(stdout, "  %-22s %-34s %10.1f %6d %6.1f%% %8.3fs\n",
 				me.Device, me.Kernel, me.SoloGFlops, me.Tiles, 100*me.Share, me.Seconds)
 		}
-		fmt.Printf("  aggregate: %.1f GF/s in %.3fs — %.2fx the best single device (%s, %.1f GF/s)\n",
+		fmt.Fprintf(stdout, "  aggregate: %.1f GF/s in %.3fs — %.2fx the best single device (%s, %.1f GF/s)\n",
 			est.GFlops, est.Seconds, est.Speedup, est.BestSingleDevice, est.BestSingleGFlops)
 	}
 	return nil

@@ -6,7 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"oclgemm/internal/codegen"
@@ -14,45 +14,54 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("gemmgen: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "gemmgen:", err)
+		}
+		os.Exit(1)
+	}
+}
 
-	precision := flag.String("precision", "single", "single or double")
-	algorithm := flag.String("algorithm", "BA", "BA, PL or DB")
-	mwg := flag.Int("mwg", 96, "work-group blocking factor Mwg")
-	nwg := flag.Int("nwg", 96, "work-group blocking factor Nwg")
-	kwg := flag.Int("kwg", 16, "work-group blocking factor Kwg")
-	mdimc := flag.Int("mdimc", 16, "work-group width MdimC")
-	ndimc := flag.Int("ndimc", 16, "work-group height NdimC")
-	mdima := flag.Int("mdima", 16, "A-load reshape MdimA")
-	ndimb := flag.Int("ndimb", 16, "B-load reshape NdimB")
-	kwi := flag.Int("kwi", 2, "inner unroll depth Kwi")
-	vw := flag.Int("vw", 1, "vector width (1, 2, 4 or 8)")
-	strideM := flag.Bool("stride-m", false, "non-unit stride access in M")
-	strideN := flag.Bool("stride-n", false, "non-unit stride access in N")
-	sharedA := flag.Bool("shared-a", true, "stage A through local memory")
-	sharedB := flag.Bool("shared-b", true, "stage B through local memory")
-	layoutA := flag.String("layout-a", "CBL", "A layout: RM, CBL or RBL")
-	layoutB := flag.String("layout-b", "CBL", "B layout: RM, CBL or RBL")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gemmgen", flag.ContinueOnError)
+	precision := fs.String("precision", "single", "single or double")
+	algorithm := fs.String("algorithm", "BA", "BA, PL or DB")
+	mwg := fs.Int("mwg", 96, "work-group blocking factor Mwg")
+	nwg := fs.Int("nwg", 96, "work-group blocking factor Nwg")
+	kwg := fs.Int("kwg", 16, "work-group blocking factor Kwg")
+	mdimc := fs.Int("mdimc", 16, "work-group width MdimC")
+	ndimc := fs.Int("ndimc", 16, "work-group height NdimC")
+	mdima := fs.Int("mdima", 16, "A-load reshape MdimA")
+	ndimb := fs.Int("ndimb", 16, "B-load reshape NdimB")
+	kwi := fs.Int("kwi", 2, "inner unroll depth Kwi")
+	vw := fs.Int("vw", 1, "vector width (1, 2, 4 or 8)")
+	strideM := fs.Bool("stride-m", false, "non-unit stride access in M")
+	strideN := fs.Bool("stride-n", false, "non-unit stride access in N")
+	sharedA := fs.Bool("shared-a", true, "stage A through local memory")
+	sharedB := fs.Bool("shared-b", true, "stage B through local memory")
+	layoutA := fs.String("layout-a", "CBL", "A layout: RM, CBL or RBL")
+	layoutB := fs.String("layout-b", "CBL", "B layout: RM, CBL or RBL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	prec := matrix.Single
 	if *precision == "double" {
 		prec = matrix.Double
 	} else if *precision != "single" {
-		log.Fatalf("unknown precision %q", *precision)
+		return fmt.Errorf("unknown precision %q", *precision)
 	}
 	alg, err := codegen.ParseAlgorithm(*algorithm)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	la, err := matrix.ParseLayout(*layoutA)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	lb, err := matrix.ParseLayout(*layoutB)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	p := codegen.Params{
@@ -67,7 +76,8 @@ func main() {
 	}
 	src, err := p.GenerateSource()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Fprint(os.Stdout, src)
+	fmt.Fprint(stdout, src)
+	return nil
 }

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunEmitsKernelSource(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	src := out.String()
+	for _, want := range []string{"__kernel", "SGEMM"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}
+
+func TestRunDoublePrecision(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-precision", "double", "-vw", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "double") {
+		t.Error("double-precision source does not mention double")
+	}
+}
+
+func TestRunRejectsBadParams(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-precision", "quad"}, &out); err == nil {
+		t.Fatal("run accepted unknown precision; want error")
+	}
+	if err := run([]string{"-mwg", "7"}, &out); err == nil {
+		t.Fatal("run accepted indivisible blocking; want error")
+	}
+}

@@ -7,7 +7,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 
 	"oclgemm/internal/blas"
 	"oclgemm/internal/experiments"
@@ -17,17 +18,26 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("gemmmodel: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "gemmmodel:", err)
+		}
+		os.Exit(1)
+	}
+}
 
-	dev := flag.String("device", "tahiti", "device ID")
-	precision := flag.String("precision", "single", "single or double")
-	n := flag.Int("n", 4096, "square problem size M=N=K")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gemmmodel", flag.ContinueOnError)
+	dev := fs.String("device", "tahiti", "device ID")
+	precision := fs.String("precision", "single", "single or double")
+	n := fs.Int("n", 4096, "square problem size M=N=K")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	d, err := experiments.Device(*dev)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	prec := matrix.Single
 	if *precision == "double" {
@@ -38,47 +48,48 @@ func main() {
 	db := tunedb.PaperTableII()
 	rec, ok := db.Get(*dev, prec)
 	if !ok {
-		log.Fatalf("no paper kernel for %s/%s (try one of Table I's devices)", *dev, prec)
+		return fmt.Errorf("no paper kernel for %s/%s (try one of Table I's devices)", *dev, prec)
 	}
 	p, err := rec.Params()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	bd, err := perfmodel.KernelTime(d, &p, *n, *n, *n)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	flops := blas.FlopCount(*n, *n, *n)
 	gf := flops / bd.Total / 1e9
 	r := p.Resources()
 
-	fmt.Printf("Device:      %s (peak %.0f GFlop/s %s)\n", d, d.PeakGFlops(prec), prec)
-	fmt.Printf("Kernel:      %s\n", p.Name())
-	fmt.Printf("Problem:     %d x %d x %d (padded %d x %d x %d)\n",
+	fmt.Fprintf(stdout, "Device:      %s (peak %.0f GFlop/s %s)\n", d, d.PeakGFlops(prec), prec)
+	fmt.Fprintf(stdout, "Kernel:      %s\n", p.Name())
+	fmt.Fprintf(stdout, "Problem:     %d x %d x %d (padded %d x %d x %d)\n",
 		*n, *n, *n, bd.PaddedM, bd.PaddedN, bd.PaddedK)
-	fmt.Println()
-	fmt.Printf("Static resources per work-group:\n")
-	fmt.Printf("  work-group size:     %d work-items\n", r.WGSize)
-	fmt.Printf("  registers/work-item: %d words (device limit %d)\n", r.RegWordsPerWI, d.MaxRegsPerWI)
-	fmt.Printf("  local memory:        %d bytes (device %d)\n", r.LDSBytes, d.LocalMemBytes())
-	fmt.Printf("  barriers/iteration:  %d\n", r.BarriersPerIter)
-	fmt.Println()
-	fmt.Printf("Occupancy:\n")
-	fmt.Printf("  work-groups/CU:      %d\n", bd.WGPerCU)
-	fmt.Printf("  waves/CU:            %d (need %.0f for full overlap)\n", bd.WavesPerCU, d.WavesForOverlap)
-	fmt.Printf("  overlap quality:     %.2f\n", bd.Overlap)
-	fmt.Printf("  CU utilisation:      %.2f (tail rounds included)\n", bd.BusyFrac)
-	fmt.Printf("  register spill:      %v\n", bd.RegSpill)
-	fmt.Println()
-	fmt.Printf("Time breakdown (seconds):\n")
-	fmt.Printf("  compute:             %.6f  (ALU efficiency %.2f)\n", bd.Compute, bd.ALUEff)
-	fmt.Printf("  global memory:       %.6f  (stream eff A %.2f, B %.2f)\n", bd.GlobalMem, bd.MemEffA, bd.MemEffB)
-	fmt.Printf("  local memory:        %.6f\n", bd.LocalMem)
-	fmt.Printf("  barriers:            %.6f\n", bd.Barrier)
-	fmt.Printf("  launch overhead:     %.6f\n", bd.Launch)
-	fmt.Printf("  total:               %.6f\n", bd.Total)
-	fmt.Println()
-	fmt.Printf("Modeled performance:   %.0f GFlop/s (%.0f%% of peak; paper reports %.0f)\n",
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "Static resources per work-group:\n")
+	fmt.Fprintf(stdout, "  work-group size:     %d work-items\n", r.WGSize)
+	fmt.Fprintf(stdout, "  registers/work-item: %d words (device limit %d)\n", r.RegWordsPerWI, d.MaxRegsPerWI)
+	fmt.Fprintf(stdout, "  local memory:        %d bytes (device %d)\n", r.LDSBytes, d.LocalMemBytes())
+	fmt.Fprintf(stdout, "  barriers/iteration:  %d\n", r.BarriersPerIter)
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "Occupancy:\n")
+	fmt.Fprintf(stdout, "  work-groups/CU:      %d\n", bd.WGPerCU)
+	fmt.Fprintf(stdout, "  waves/CU:            %d (need %.0f for full overlap)\n", bd.WavesPerCU, d.WavesForOverlap)
+	fmt.Fprintf(stdout, "  overlap quality:     %.2f\n", bd.Overlap)
+	fmt.Fprintf(stdout, "  CU utilisation:      %.2f (tail rounds included)\n", bd.BusyFrac)
+	fmt.Fprintf(stdout, "  register spill:      %v\n", bd.RegSpill)
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "Time breakdown (seconds):\n")
+	fmt.Fprintf(stdout, "  compute:             %.6f  (ALU efficiency %.2f)\n", bd.Compute, bd.ALUEff)
+	fmt.Fprintf(stdout, "  global memory:       %.6f  (stream eff A %.2f, B %.2f)\n", bd.GlobalMem, bd.MemEffA, bd.MemEffB)
+	fmt.Fprintf(stdout, "  local memory:        %.6f\n", bd.LocalMem)
+	fmt.Fprintf(stdout, "  barriers:            %.6f\n", bd.Barrier)
+	fmt.Fprintf(stdout, "  launch overhead:     %.6f\n", bd.Launch)
+	fmt.Fprintf(stdout, "  total:               %.6f\n", bd.Total)
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "Modeled performance:   %.0f GFlop/s (%.0f%% of peak; paper reports %.0f)\n",
 		gf, 100*gf/d.PeakGFlops(prec), rec.GFlops)
+	return nil
 }

@@ -6,7 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"sort"
 	"time"
@@ -14,58 +14,74 @@ import (
 	"oclgemm/internal/core"
 	"oclgemm/internal/experiments"
 	"oclgemm/internal/matrix"
+	"oclgemm/internal/obs"
 	"oclgemm/internal/tunedb"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("gemmtune: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "gemmtune:", err)
+		}
+		os.Exit(1)
+	}
+}
 
-	dev := flag.String("device", "tahiti", "device ID (tahiti, cayman, kepler, fermi, sandybridge, bulldozer, cypress)")
-	precision := flag.String("precision", "single", "single or double")
-	budget := flag.Int("budget", 25000, "stage-1 candidate budget (the paper measures tens of thousands)")
-	maxSize := flag.Int("maxsize", 8192, "largest stage-2 problem size")
-	finalists := flag.Int("finalists", 50, "kernels re-measured across sizes in stage 2")
-	showSource := flag.Bool("source", false, "also print the winning kernel's OpenCL C source")
-	savePath := flag.String("save", "", "persist the result into this tuning-database JSON file")
-	journal := flag.String("journal", "", "checkpoint stage-1 progress to this file; re-running resumes")
-	evalTimeout := flag.Duration("timeout", 0, "per-evaluation timeout (0 = none); hung kernels are rejected")
-	retries := flag.Int("retries", 0, "retries for transient evaluation failures")
-	verify := flag.Bool("verify", false, "run finalists on the simulated runtime and disqualify wrong results")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gemmtune", flag.ContinueOnError)
+	dev := fs.String("device", "tahiti", "device ID (tahiti, cayman, kepler, fermi, sandybridge, bulldozer, cypress)")
+	precision := fs.String("precision", "single", "single or double")
+	budget := fs.Int("budget", 25000, "stage-1 candidate budget (the paper measures tens of thousands)")
+	maxSize := fs.Int("maxsize", 8192, "largest stage-2 problem size")
+	finalists := fs.Int("finalists", 50, "kernels re-measured across sizes in stage 2")
+	showSource := fs.Bool("source", false, "also print the winning kernel's OpenCL C source")
+	savePath := fs.String("save", "", "persist the result into this tuning-database JSON file")
+	journal := fs.String("journal", "", "checkpoint stage-1 progress to this file; re-running resumes")
+	evalTimeout := fs.Duration("timeout", 0, "per-evaluation timeout (0 = none); hung kernels are rejected")
+	retries := fs.Int("retries", 0, "retries for transient evaluation failures")
+	verify := fs.Bool("verify", false, "run finalists on the simulated runtime and disqualify wrong results")
+	metrics := fs.Bool("metrics", false, "print the search's metrics registry after the result")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	d, err := experiments.Device(*dev)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	prec := matrix.Single
 	if *precision == "double" {
 		prec = matrix.Double
 	} else if *precision != "single" {
-		log.Fatalf("unknown precision %q", *precision)
+		return fmt.Errorf("unknown precision %q", *precision)
 	}
 
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
 	tn, err := core.New(core.Options{
 		Device: d, Precision: prec,
 		MaxCandidates: *budget, MaxSize: *maxSize, Finalists: *finalists,
 		EvalTimeout: *evalTimeout, MaxRetries: *retries,
 		Verify: *verify, JournalPath: *journal,
+		Obs: reg,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	start := time.Now()
 	sel, err := tn.Search()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	elapsed := time.Since(start)
 
 	b := sel.Best
 	p := b.Params
-	fmt.Printf("Device:        %s\n", d)
-	fmt.Printf("Routine:       %s (C <- alpha*A^T*B + beta*C kernel)\n", prec.GEMMName())
-	fmt.Printf("Search:        %d valid variants, %d measured (%d tested), %d rejected, stage-2 %d kernels, %s\n",
+	fmt.Fprintf(stdout, "Device:        %s\n", d)
+	fmt.Fprintf(stdout, "Routine:       %s (C <- alpha*A^T*B + beta*C kernel)\n", prec.GEMMName())
+	fmt.Fprintf(stdout, "Search:        %d valid variants, %d measured (%d tested), %d rejected, stage-2 %d kernels, %s\n",
 		sel.Stats.Enumerated, sel.Stats.Measured, sel.Stats.Tested, sel.Stats.Rejected,
 		sel.Stats.Stage2, elapsed.Round(time.Millisecond))
 	if len(sel.Stats.RejectedBy) > 0 {
@@ -74,48 +90,52 @@ func main() {
 			causes = append(causes, c)
 		}
 		sort.Slice(causes, func(i, j int) bool { return causes[i] < causes[j] })
-		fmt.Printf("Rejects:      ")
+		fmt.Fprintf(stdout, "Rejects:      ")
 		for _, c := range causes {
-			fmt.Printf(" %s=%d", c, sel.Stats.RejectedBy[c])
+			fmt.Fprintf(stdout, " %s=%d", c, sel.Stats.RejectedBy[c])
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if sel.Stats.Resumed > 0 {
-		fmt.Printf("Resumed:       %d stage-1 measurements replayed from %s\n", sel.Stats.Resumed, *journal)
+		fmt.Fprintf(stdout, "Resumed:       %d stage-1 measurements replayed from %s\n", sel.Stats.Resumed, *journal)
 	}
 	if *verify {
-		fmt.Printf("Verified:      %d finalists passed the correctness gate\n", sel.Stats.Verified)
+		fmt.Fprintf(stdout, "Verified:      %d finalists passed the correctness gate\n", sel.Stats.Verified)
 	}
-	fmt.Printf("\nFastest kernel (Table II column):\n")
-	fmt.Printf("  Mwg,Nwg,Kwg:   %d,%d,%d\n", p.Mwg, p.Nwg, p.Kwg)
-	fmt.Printf("  Mwi,Nwi,Kwi:   %d,%d,%d\n", p.Mwi(), p.Nwi(), p.Kwi)
-	fmt.Printf("  MdimC,NdimC:   %d,%d\n", p.MdimC, p.NdimC)
+	fmt.Fprintf(stdout, "\nFastest kernel (Table II column):\n")
+	fmt.Fprintf(stdout, "  Mwg,Nwg,Kwg:   %d,%d,%d\n", p.Mwg, p.Nwg, p.Kwg)
+	fmt.Fprintf(stdout, "  Mwi,Nwi,Kwi:   %d,%d,%d\n", p.Mwi(), p.Nwi(), p.Kwi)
+	fmt.Fprintf(stdout, "  MdimC,NdimC:   %d,%d\n", p.MdimC, p.NdimC)
 	if p.SharedA {
-		fmt.Printf("  MdimA,KdimA:   %d,%d\n", p.MdimA, p.KdimA())
+		fmt.Fprintf(stdout, "  MdimA,KdimA:   %d,%d\n", p.MdimA, p.KdimA())
 	}
 	if p.SharedB {
-		fmt.Printf("  KdimB,NdimB:   %d,%d\n", p.KdimB(), p.NdimB)
+		fmt.Fprintf(stdout, "  KdimB,NdimB:   %d,%d\n", p.KdimB(), p.NdimB)
 	}
-	fmt.Printf("  Vector width:  %d\n", p.VectorWidth)
-	fmt.Printf("  Stride M/N:    %v/%v\n", p.StrideM, p.StrideN)
-	fmt.Printf("  Shared A/B:    %v/%v\n", p.SharedA, p.SharedB)
-	fmt.Printf("  Layout A,B:    %s,%s\n", p.LayoutA, p.LayoutB)
-	fmt.Printf("  Algorithm:     %s\n", p.Algorithm)
-	fmt.Printf("\nMax performance: %.0f GFlop/s at N=%d (%.0f%% of peak %.0f)\n",
+	fmt.Fprintf(stdout, "  Vector width:  %d\n", p.VectorWidth)
+	fmt.Fprintf(stdout, "  Stride M/N:    %v/%v\n", p.StrideM, p.StrideN)
+	fmt.Fprintf(stdout, "  Shared A/B:    %v/%v\n", p.SharedA, p.SharedB)
+	fmt.Fprintf(stdout, "  Layout A,B:    %s,%s\n", p.LayoutA, p.LayoutB)
+	fmt.Fprintf(stdout, "  Algorithm:     %s\n", p.Algorithm)
+	fmt.Fprintf(stdout, "\nMax performance: %.0f GFlop/s at N=%d (%.0f%% of peak %.0f)\n",
 		b.Best, b.BestN, 100*b.Best/d.PeakGFlops(prec), d.PeakGFlops(prec))
 
-	fmt.Printf("\nPerformance curve:\n")
-	fmt.Printf("  %8s  %10s\n", "N", "GFlop/s")
+	fmt.Fprintf(stdout, "\nPerformance curve:\n")
+	fmt.Fprintf(stdout, "  %8s  %10s\n", "N", "GFlop/s")
 	for _, pt := range b.Curve {
-		fmt.Printf("  %8d  %10.1f\n", pt.N, pt.GFlops)
+		fmt.Fprintf(stdout, "  %8d  %10.1f\n", pt.N, pt.GFlops)
+	}
+
+	if *metrics {
+		fmt.Fprintf(stdout, "\nSearch metrics:\n%s", reg.Snapshot().Render())
 	}
 
 	if *showSource {
 		src, err := p.GenerateSource()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("\n%s", src)
+		fmt.Fprintf(stdout, "\n%s", src)
 	}
 
 	if *savePath != "" {
@@ -124,14 +144,15 @@ func main() {
 			// Only a genuinely missing file starts fresh; a corrupt or
 			// version-mismatched database must not be clobbered.
 			if !os.IsNotExist(err) {
-				log.Fatal(err)
+				return err
 			}
 			db = &tunedb.DB{}
 		}
 		db.Put(tunedb.FromParams(d.ID, p, b.Best, b.BestN, "search"))
 		if err := db.Save(*savePath); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("\nsaved to %s\n", *savePath)
+		fmt.Fprintf(stdout, "\nsaved to %s\n", *savePath)
 	}
+	return nil
 }

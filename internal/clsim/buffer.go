@@ -32,6 +32,9 @@ func (c *Context) CreateBuffer(size int) (*Buffer, error) {
 	c.allocated += int64(size)
 	c.buffers++
 	c.created++
+	c.o.bufCreated.Inc()
+	c.o.bufLive.Add(1)
+	c.o.bufLiveBytes.Add(int64(size))
 	return &Buffer{
 		ctx:   c,
 		size:  size,
@@ -53,6 +56,9 @@ func (b *Buffer) Release() {
 	b.ctx.allocated -= int64(b.size)
 	b.ctx.buffers--
 	b.ctx.released++
+	b.ctx.o.bufReleased.Inc()
+	b.ctx.o.bufLive.Add(-1)
+	b.ctx.o.bufLiveBytes.Add(-int64(b.size))
 	b.ctx.mu.Unlock()
 	b.words = nil
 }
@@ -95,6 +101,7 @@ func (q *Queue) WriteFloat32(b *Buffer, offset int, host []float32) error {
 	q.mu.Lock()
 	q.stats.BytesWritten += int64(4 * len(host))
 	q.mu.Unlock()
+	q.Ctx.o.bytesW.Add(int64(4 * len(host)))
 	return nil
 }
 
@@ -110,6 +117,7 @@ func (q *Queue) WriteFloat64(b *Buffer, offset int, host []float64) error {
 	q.mu.Lock()
 	q.stats.BytesWritten += int64(8 * len(host))
 	q.mu.Unlock()
+	q.Ctx.o.bytesW.Add(int64(8 * len(host)))
 	return nil
 }
 
@@ -124,6 +132,7 @@ func (q *Queue) ReadFloat32(b *Buffer, offset int, host []float32) error {
 	q.mu.Lock()
 	q.stats.BytesRead += int64(4 * len(host))
 	q.mu.Unlock()
+	q.Ctx.o.bytesR.Add(int64(4 * len(host)))
 	return nil
 }
 
@@ -138,5 +147,6 @@ func (q *Queue) ReadFloat64(b *Buffer, offset int, host []float64) error {
 	q.mu.Lock()
 	q.stats.BytesRead += int64(8 * len(host))
 	q.mu.Unlock()
+	q.Ctx.o.bytesR.Add(int64(8 * len(host)))
 	return nil
 }

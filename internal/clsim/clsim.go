@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"oclgemm/internal/device"
+	"oclgemm/internal/obs"
 )
 
 // Platform groups the simulated devices, mirroring clGetPlatformIDs.
@@ -57,6 +58,45 @@ type Context struct {
 	buffers   int
 	created   int64
 	released  int64
+
+	o ctxObs
+}
+
+// ctxObs holds the context's resolved metric handles. Every handle is
+// nil-safe, so an unobserved context (the default) pays only a nil
+// check per event.
+type ctxObs struct {
+	bufCreated, bufReleased  *obs.Counter
+	bufLive, bufLiveBytes    *obs.Gauge
+	launches, groups, items  *obs.Counter
+	barriers, bytesW, bytesR *obs.Counter
+}
+
+// SetObserver folds the context's buffer accounting and the execution
+// statistics of its queues into the registry: counters
+// clsim.buffer.created/released, clsim.kernel.launches,
+// clsim.workgroups.run, clsim.workitems.run, clsim.barriers.hit,
+// clsim.bytes.written/read and gauges clsim.buffer.live/live_bytes.
+// Call it before the context is used; a nil registry detaches.
+func (c *Context) SetObserver(r *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r == nil {
+		c.o = ctxObs{}
+		return
+	}
+	c.o = ctxObs{
+		bufCreated:   r.Counter("clsim.buffer.created"),
+		bufReleased:  r.Counter("clsim.buffer.released"),
+		bufLive:      r.Gauge("clsim.buffer.live"),
+		bufLiveBytes: r.Gauge("clsim.buffer.live_bytes"),
+		launches:     r.Counter("clsim.kernel.launches"),
+		groups:       r.Counter("clsim.workgroups.run"),
+		items:        r.Counter("clsim.workitems.run"),
+		barriers:     r.Counter("clsim.barriers.hit"),
+		bytesW:       r.Counter("clsim.bytes.written"),
+		bytesR:       r.Counter("clsim.bytes.read"),
+	}
 }
 
 // NewContext creates a context on the device.
@@ -158,11 +198,16 @@ func (q *Queue) Stats() QueueStats {
 
 func (q *Queue) addLaunch(groups, items, barriers int64) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	q.stats.KernelLaunches++
 	q.stats.WorkGroupsRun += groups
 	q.stats.WorkItemsRun += items
 	q.stats.BarriersHit += barriers
+	q.mu.Unlock()
+	o := &q.Ctx.o
+	o.launches.Inc()
+	o.groups.Add(groups)
+	o.items.Add(items)
+	o.barriers.Add(barriers)
 }
 
 // NDRange is a two-dimensional index space (the paper only considers 2-D

@@ -7,6 +7,7 @@ import (
 
 	"oclgemm/internal/codegen"
 	"oclgemm/internal/device"
+	"oclgemm/internal/obs"
 )
 
 // CtxEvaluator is a context-aware Evaluator: implementations must
@@ -66,6 +67,29 @@ func WithTimeout(ev CtxEvaluator, d time.Duration) CtxEvaluator {
 			}
 			return 0, fmt.Errorf("%w after %v", ErrTimeout, d)
 		}
+	}
+}
+
+// WithObserver times every evaluation into the registry — histogram
+// tune.eval.seconds, counters tune.evals and tune.eval.failures — the
+// per-candidate measurement record CLTune argues a tuner needs to be
+// trusted. A nil registry passes ev through unchanged.
+func WithObserver(ev CtxEvaluator, r *obs.Registry) CtxEvaluator {
+	if r == nil {
+		return ev
+	}
+	evals := r.Counter("tune.evals")
+	failures := r.Counter("tune.eval.failures")
+	seconds := r.Histogram("tune.eval.seconds")
+	return func(ctx context.Context, d *device.Spec, p *codegen.Params, n int) (float64, error) {
+		start := time.Now()
+		gf, err := ev(ctx, d, p, n)
+		seconds.Observe(time.Since(start).Seconds())
+		evals.Inc()
+		if err != nil {
+			failures.Inc()
+		}
+		return gf, err
 	}
 }
 

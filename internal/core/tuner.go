@@ -12,6 +12,7 @@ import (
 	"oclgemm/internal/codegen"
 	"oclgemm/internal/device"
 	"oclgemm/internal/matrix"
+	"oclgemm/internal/obs"
 	"oclgemm/internal/perfmodel"
 )
 
@@ -76,6 +77,13 @@ type Options struct {
 	// append to this JSON-lines file, and a re-run with the same path
 	// (and search configuration) resumes instead of re-measuring.
 	JournalPath string
+
+	// Obs, when set, receives the search's measurement record: a
+	// tune.eval.seconds histogram timing every stage-1/2 evaluation,
+	// tune.evals / tune.eval.failures counters, and — when the search
+	// returns — the Stats fold (tune.reject.<cause> per rejection
+	// cause, tested/resumed/verified/stage-2 counters).
+	Obs *obs.Registry
 
 	// Context cancels a running search; Search then returns an error
 	// wrapping ErrInterrupted. nil means Background.
@@ -143,6 +151,25 @@ func (s *Stats) addReject(c RejectCause, n int) {
 	s.Rejected += n
 }
 
+// publish folds the search tally into the registry: one
+// tune.reject.<cause> counter per rejection cause plus the headline
+// enumerated/measured/tested/resumed/verified and stage-2 counters.
+func (s *Stats) publish(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	for c, n := range s.RejectedBy {
+		r.Counter("tune.reject." + c.String()).Add(int64(n))
+	}
+	r.Counter("tune.candidates.enumerated").Add(int64(s.Enumerated))
+	r.Counter("tune.candidates.measured").Add(int64(s.Measured))
+	r.Counter("tune.candidates.tested").Add(int64(s.Tested))
+	r.Counter("tune.candidates.resumed").Add(int64(s.Resumed))
+	r.Counter("tune.finalists.verified").Add(int64(s.Verified))
+	r.Counter("tune.stage2.kernels").Add(int64(s.Stage2))
+	r.Counter("tune.stage2.evals").Add(int64(s.Stage2Evals))
+}
+
 // Selection is the outcome of a search.
 type Selection struct {
 	Best      Result
@@ -193,6 +220,7 @@ func New(opts Options) (*Tuner, error) {
 	}
 	ev = WithTimeout(ev, opts.EvalTimeout)
 	ev = WithRetry(ev, opts.MaxRetries, opts.RetryBackoff)
+	ev = WithObserver(ev, opts.Obs)
 	return &Tuner{opts: opts, eval: ev}, nil
 }
 
@@ -238,6 +266,9 @@ func (t *Tuner) Search() (*Selection, error) {
 	o := t.opts
 	ctx := o.Context
 	var stats Stats
+	// Publish on every exit so aborted searches still leave their
+	// partial tally (rejects, resumed counts) in the registry.
+	defer func() { stats.publish(o.Obs) }()
 
 	// Stage 0: count the valid candidates, then sample the space with a
 	// deterministic stride so the measured set stays representative.

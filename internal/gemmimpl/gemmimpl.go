@@ -15,11 +15,14 @@ package gemmimpl
 import (
 	"fmt"
 
+	"math"
+
 	"oclgemm/internal/blas"
 	"oclgemm/internal/clsim"
 	"oclgemm/internal/codegen"
 	"oclgemm/internal/device"
 	"oclgemm/internal/matrix"
+	"oclgemm/internal/obs"
 	"oclgemm/internal/perfmodel"
 )
 
@@ -38,6 +41,17 @@ type Impl struct {
 	// from this implementation (fault injection; see
 	// clsim.Queue.LaunchHook).
 	LaunchHook func(kernelName string) error
+
+	// Obs, when set, receives the execution metrics of every plan built
+	// from this implementation: per-phase pack/kernel/copy timing
+	// histograms, pack-reuse and plan-cache counters, and the clsim
+	// launch/buffer accounting. Set it before plans are built.
+	Obs *obs.Registry
+
+	// Trace, when set, records a span per pack/kernel/copy phase of
+	// every Run into its ring buffer (obs.Tracer). Set it before plans
+	// are built.
+	Trace *obs.Tracer
 }
 
 // New validates the kernel parameters against the device.
@@ -140,11 +154,17 @@ func (im *Impl) Time(m, n, k int) (Breakdown, error) {
 }
 
 // GFlops returns the modeled performance of the full routine for the
-// nominal problem size.
+// nominal problem size. A degenerate model output (zero, negative,
+// NaN or infinite time) is an error rather than an Inf/NaN throughput
+// that would silently corrupt downstream scheduling comparisons.
 func (im *Impl) GFlops(m, n, k int) (float64, error) {
 	bd, err := im.Time(m, n, k)
 	if err != nil {
 		return 0, err
+	}
+	if !(bd.TotalSeconds > 0) || math.IsInf(bd.TotalSeconds, 1) {
+		return 0, fmt.Errorf("gemmimpl: model produced unusable routine time %v for %dx%dx%d on %s",
+			bd.TotalSeconds, m, n, k, im.Dev.ID)
 	}
 	return blas.FlopCount(m, n, k) / bd.TotalSeconds / 1e9, nil
 }

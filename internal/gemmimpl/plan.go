@@ -14,12 +14,14 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"oclgemm/internal/blas"
 	"oclgemm/internal/clsim"
 	"oclgemm/internal/codegen"
 	"oclgemm/internal/kernels"
 	"oclgemm/internal/matrix"
+	"oclgemm/internal/obs"
 )
 
 // gemmDims validates operand shapes against C and returns the problem
@@ -61,14 +63,19 @@ func sourceKey[T matrix.Scalar](src *matrix.Matrix[T], transpose bool) operandKe
 
 // fingerprint hashes the logical elements of m (FNV-1a over the IEEE
 // bit patterns, honoring the stride so views hash only their region).
-// Hashing is O(elements) but far cheaper than the simulated pack kernel
-// it lets the engine skip.
+// The state is seeded with the dimensions and storage order so that
+// different shapes over one element stream — a 2×8 and a 4×4 view of
+// the same backing slice — cannot collide. Hashing is O(elements) but
+// far cheaper than the simulated pack kernel it lets the engine skip.
 func fingerprint[T matrix.Scalar](m *matrix.Matrix[T]) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
+	h = (h ^ uint64(m.Rows)) * prime64
+	h = (h ^ uint64(m.Cols)) * prime64
+	h = (h ^ uint64(m.Order)) * prime64
 	major, minor := m.Rows, m.Cols
 	if m.Order == matrix.ColMajor {
 		major, minor = m.Cols, m.Rows
@@ -166,6 +173,50 @@ type Plan[T matrix.Scalar] struct {
 	lastA, lastB operandKey
 	haveA, haveB bool
 	stats        PlanStats
+
+	tr *obs.Tracer
+	o  planObs
+}
+
+// planObs holds the plan's resolved metric handles. All handles are
+// nil-safe no-ops when the implementation carries no registry, so the
+// uninstrumented hot path pays only nil checks.
+type planObs struct {
+	calls                                            *obs.Counter
+	callSec                                          *obs.Histogram
+	packASec, packBSec, packCSec, kernelSec, copySec *obs.Histogram
+	reusedA, reusedB, skippedC                       *obs.Counter
+}
+
+func resolvePlanObs(r *obs.Registry) planObs {
+	return planObs{
+		calls:     r.Counter("gemm.calls"),
+		callSec:   r.Histogram("gemm.call.seconds"),
+		packASec:  r.Histogram("gemm.phase.pack.A.seconds"),
+		packBSec:  r.Histogram("gemm.phase.pack.B.seconds"),
+		packCSec:  r.Histogram("gemm.phase.pack.C.seconds"),
+		kernelSec: r.Histogram("gemm.phase.kernel.seconds"),
+		copySec:   r.Histogram("gemm.phase.copy.out.seconds"),
+		reusedA:   r.Counter("gemm.pack.reused.A"),
+		reusedB:   r.Counter("gemm.pack.reused.B"),
+		skippedC:  r.Counter("gemm.pack.skipped.C"),
+	}
+}
+
+// phase wraps one region of a Run with a timing observation and a
+// trace span carrying the device and the bytes/flops the region moved.
+// With neither a registry nor a tracer attached it calls fn directly.
+func (pl *Plan[T]) phase(name string, h *obs.Histogram, bytes, flops int64, fn func() error) error {
+	if h == nil && pl.tr == nil {
+		return fn()
+	}
+	sp := pl.tr.Start(name)
+	sp.SetBytes(bytes).SetFlops(flops).SetAttr("device", pl.im.Dev.ID)
+	start := time.Now()
+	err := fn()
+	h.Observe(time.Since(start).Seconds())
+	sp.End()
+	return err
 }
 
 // NewPlan builds a plan for problems whose dimensions pad to the same
@@ -183,10 +234,13 @@ func NewPlan[T matrix.Scalar](im *Impl, m, n, k int) (*Plan[T], error) {
 	q := clsim.NewQueue(ctx)
 	q.Workers = im.Workers
 	q.LaunchHook = im.LaunchHook
+	ctx.SetObserver(im.Obs)
 	pl := &Plan[T]{
 		im: im, Mp: mp, Np: np, Kp: kp,
 		ctx: ctx, q: q, pool: newBufPool(ctx),
 		cp: make([]T, mp*np),
+		tr: im.Trace,
+		o:  resolvePlanObs(im.Obs),
 	}
 	var err error
 	if pl.bufA, err = ctx.CreateBuffer(kp * mp * esz); err != nil {
@@ -299,13 +353,19 @@ func (pl *Plan[T]) Run(ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], b
 		return fmt.Errorf("gemmimpl: Run on closed plan")
 	}
 	pl.q.Workers = pl.im.Workers
+	callStart := time.Now()
+	esz := int64(pl.im.Params.Precision.Size())
 
 	keyA := sourceKey(a, ta == blas.NoTrans)
 	if pl.haveA && keyA == pl.lastA {
 		pl.stats.ReusedA++
+		pl.o.reusedA.Inc()
 	} else {
 		pl.haveA = false
-		if err := pl.pack(pl.packA, a, ta == blas.NoTrans); err != nil {
+		err := pl.phase("gemm.pack.A", pl.o.packASec, int64(len(a.Data))*esz, 0, func() error {
+			return pl.pack(pl.packA, a, ta == blas.NoTrans)
+		})
+		if err != nil {
 			return err
 		}
 		pl.lastA, pl.haveA = keyA, true
@@ -314,9 +374,13 @@ func (pl *Plan[T]) Run(ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], b
 	keyB := sourceKey(b, tb == blas.Trans)
 	if pl.haveB && keyB == pl.lastB {
 		pl.stats.ReusedB++
+		pl.o.reusedB.Inc()
 	} else {
 		pl.haveB = false
-		if err := pl.pack(pl.packB, b, tb == blas.Trans); err != nil {
+		err := pl.phase("gemm.pack.B", pl.o.packBSec, int64(len(b.Data))*esz, 0, func() error {
+			return pl.pack(pl.packB, b, tb == blas.Trans)
+		})
+		if err != nil {
 			return err
 		}
 		pl.lastB, pl.haveB = keyB, true
@@ -327,26 +391,41 @@ func (pl *Plan[T]) Run(ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], b
 		// overwrites every padded element, so stale device contents
 		// (previous calls, NaN/Inf-poisoned host C) never surface.
 		pl.stats.SkippedC++
+		pl.o.skippedC.Inc()
 	} else {
-		if err := pl.pack(pl.packC, c, false); err != nil {
+		err := pl.phase("gemm.pack.C", pl.o.packCSec, int64(len(c.Data))*esz, 0, func() error {
+			return pl.pack(pl.packC, c, false)
+		})
+		if err != nil {
 			return err
 		}
 		pl.stats.PackC++
 	}
 
 	pl.kern.SetScalars(alpha, beta)
-	if err := pl.q.RunLockstep(pl.kern, pl.kern.NDRange()); err != nil {
+	err = pl.phase("gemm.kernel", pl.o.kernelSec, 0, int64(blas.FlopCount(m, n, k)), func() error {
+		return pl.q.RunLockstep(pl.kern, pl.kern.NDRange())
+	})
+	if err != nil {
 		return err
 	}
-	if err := readBuf(pl.q, pl.bufC, pl.cp); err != nil {
-		return err
-	}
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			c.Set(i, j, pl.cp[i*np+j])
+	err = pl.phase("gemm.copy.out", pl.o.copySec, int64(len(pl.cp))*esz, 0, func() error {
+		if err := readBuf(pl.q, pl.bufC, pl.cp); err != nil {
+			return err
 		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				c.Set(i, j, pl.cp[i*np+j])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	pl.stats.Runs++
+	pl.o.calls.Inc()
+	pl.o.callSec.Observe(time.Since(callStart).Seconds())
 	return nil
 }
 
@@ -371,6 +450,8 @@ type PlanCache[T matrix.Scalar] struct {
 	im       *Impl
 	maxPlans int
 
+	hit, miss, evicted *obs.Counter
+
 	mu    sync.Mutex
 	seq   int64
 	plans map[planKey]*cacheEntry[T]
@@ -382,7 +463,12 @@ func NewPlanCache[T matrix.Scalar](im *Impl, maxPlans int) *PlanCache[T] {
 	if maxPlans <= 0 {
 		maxPlans = DefaultMaxPlans
 	}
-	return &PlanCache[T]{im: im, maxPlans: maxPlans, plans: make(map[planKey]*cacheEntry[T])}
+	return &PlanCache[T]{
+		im: im, maxPlans: maxPlans, plans: make(map[planKey]*cacheEntry[T]),
+		hit:     im.Obs.Counter("gemm.plan.hit"),
+		miss:    im.Obs.Counter("gemm.plan.miss"),
+		evicted: im.Obs.Counter("gemm.plan.evicted"),
+	}
 }
 
 // Len returns the number of cached plans.
@@ -427,6 +513,7 @@ func (pc *PlanCache[T]) Run(ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[
 	pc.mu.Lock()
 	e := pc.plans[key]
 	if e == nil {
+		pc.miss.Inc()
 		plan, perr := NewPlan[T](pc.im, m, n, k)
 		if perr != nil {
 			pc.mu.Unlock()
@@ -434,6 +521,8 @@ func (pc *PlanCache[T]) Run(ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[
 		}
 		e = &cacheEntry[T]{plan: plan}
 		pc.plans[key] = e
+	} else {
+		pc.hit.Inc()
 	}
 	e.refs++
 	pc.seq++
@@ -471,6 +560,7 @@ func (pc *PlanCache[T]) evictLocked(keep planKey) {
 		}
 		e := pc.plans[victim]
 		delete(pc.plans, victim)
+		pc.evicted.Inc()
 		if e.refs == 0 {
 			e.plan.Close()
 		} else {

@@ -1,0 +1,108 @@
+// Reporting: per-phase breakdowns aggregated from trace spans, an
+// aligned table renderer, and the BENCH_gemm.json emitter that records
+// the repository's performance trajectory across commits.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Phase is the aggregate of every span sharing one name: where a
+// call's time went, the unit of the gemmbench -metrics table.
+type Phase struct {
+	Name    string  `json:"name"`
+	Calls   int64   `json:"calls"`
+	Seconds float64 `json:"seconds"`
+	Bytes   int64   `json:"bytes,omitempty"`
+	Flops   int64   `json:"flops,omitempty"`
+}
+
+// PhaseBreakdown aggregates span records by name, ordered by total
+// time descending.
+func PhaseBreakdown(spans []SpanRecord) []Phase {
+	byName := map[string]*Phase{}
+	for _, s := range spans {
+		p := byName[s.Name]
+		if p == nil {
+			p = &Phase{Name: s.Name}
+			byName[s.Name] = p
+		}
+		p.Calls++
+		p.Seconds += s.Seconds
+		p.Bytes += s.Bytes
+		p.Flops += s.Flops
+	}
+	out := make([]Phase, 0, len(byName))
+	for _, p := range byName {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seconds != out[j].Seconds {
+			return out[i].Seconds > out[j].Seconds
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// RenderPhases formats phases as an aligned table with each phase's
+// share of the total time.
+func RenderPhases(phases []Phase) string {
+	var total float64
+	for _, p := range phases {
+		total += p.Seconds
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %8s %12s %7s %14s\n", "phase", "calls", "seconds", "share", "bytes")
+	for _, p := range phases {
+		share := 0.0
+		if total > 0 {
+			share = 100 * p.Seconds / total
+		}
+		fmt.Fprintf(&b, "%-24s %8d %12.6f %6.1f%% %14d\n", p.Name, p.Calls, p.Seconds, share, p.Bytes)
+	}
+	fmt.Fprintf(&b, "%-24s %8s %12.6f %6.1f%%\n", "total", "", total, 100.0)
+	return b.String()
+}
+
+// BenchReport is the BENCH_gemm.json schema: one instrumented
+// benchmark run, self-describing enough to diff across commits.
+type BenchReport struct {
+	Schema      string  `json:"schema"` // "oclgemm-bench/v1"
+	Timestamp   string  `json:"timestamp"`
+	Mode        string  `json:"mode"` // "single" or "pool"
+	Device      string  `json:"device,omitempty"`
+	M           int     `json:"m"`
+	N           int     `json:"n"`
+	K           int     `json:"k"`
+	Iters       int     `json:"iters"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// GFlops is wall-clock throughput of the simulated run — a
+	// regression canary for the engine's hot path, not a claim about
+	// hardware.
+	GFlops  float64  `json:"gflops"`
+	Phases  []Phase  `json:"phases"`
+	Metrics Snapshot `json:"metrics"`
+}
+
+// NewBenchReport stamps a report with the schema version and the
+// current time.
+func NewBenchReport(mode string) *BenchReport {
+	return &BenchReport{
+		Schema:    "oclgemm-bench/v1",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Mode:      mode,
+	}
+}
+
+// WriteJSON writes the report as one indented JSON object.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

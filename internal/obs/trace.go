@@ -1,0 +1,217 @@
+// Span tracing: named wall-clock regions with bytes/flops attributes,
+// recorded into a fixed-capacity ring buffer and exportable as
+// JSON-lines. The tracer answers "where did this call's time go" —
+// pack vs. kernel vs. copy vs. steal/requeue — at single-span
+// granularity, complementing the registry's aggregates.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultTraceCapacity bounds a tracer's ring buffer when no explicit
+// capacity is given.
+const DefaultTraceCapacity = 4096
+
+// maxSpanAttrs bounds per-span key=value attributes; extras are
+// dropped. Spans carry Bytes and Flops as first-class fields, so
+// attributes are for low-cardinality identity (device, kernel, cause).
+const maxSpanAttrs = 4
+
+type spanAttr struct{ key, value string }
+
+// Span is one in-flight region. Obtain it from Tracer.Start (or the
+// context-carrying StartSpan), decorate it, then End it. A nil Span
+// (from a nil Tracer) ignores every call.
+type Span struct {
+	tr    *Tracer
+	name  string
+	start time.Time
+	bytes int64
+	flops int64
+	attrs [maxSpanAttrs]spanAttr
+	n     int
+}
+
+// SetBytes records how many host bytes the region moved.
+func (s *Span) SetBytes(n int64) *Span {
+	if s != nil {
+		s.bytes = n
+	}
+	return s
+}
+
+// SetFlops records how many floating-point operations the region
+// performed.
+func (s *Span) SetFlops(n int64) *Span {
+	if s != nil {
+		s.flops = n
+	}
+	return s
+}
+
+// SetAttr attaches one key=value attribute (device, kernel, cause).
+// At most 4 attributes are kept per span.
+func (s *Span) SetAttr(key, value string) *Span {
+	if s != nil && s.n < maxSpanAttrs {
+		s.attrs[s.n] = spanAttr{key, value}
+		s.n++
+	}
+	return s
+}
+
+// End closes the region and commits it to the tracer's ring buffer.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	rec := SpanRecord{
+		Name:    s.name,
+		StartUS: s.start.UnixMicro(),
+		Seconds: time.Since(s.start).Seconds(),
+		Bytes:   s.bytes,
+		Flops:   s.flops,
+	}
+	if s.n > 0 {
+		rec.Attrs = make(map[string]string, s.n)
+		for i := 0; i < s.n; i++ {
+			rec.Attrs[s.attrs[i].key] = s.attrs[i].value
+		}
+	}
+	s.tr.record(rec)
+}
+
+// SpanRecord is one completed region, the unit of the JSON-lines
+// export.
+type SpanRecord struct {
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us"`
+	Seconds float64           `json:"seconds"`
+	Bytes   int64             `json:"bytes,omitempty"`
+	Flops   int64             `json:"flops,omitempty"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer records completed spans into a ring buffer of fixed capacity,
+// overwriting the oldest when full (Dropped counts the overwritten).
+// All methods are safe for concurrent use; a nil *Tracer is a no-op,
+// so instrumented code needs no branches.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []SpanRecord
+	next    int // insertion index once the buffer has wrapped
+	wrapped bool
+	dropped uint64
+}
+
+// NewTracer returns a tracer keeping the most recent capacity spans
+// (capacity <= 0 selects DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{buf: make([]SpanRecord, 0, capacity)}
+}
+
+// Start opens a span; the caller must End it. Nil tracers return a nil
+// (no-op) span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tr: t, name: name, start: time.Now()}
+}
+
+// Event records an instantaneous occurrence (a steal, a requeue, a
+// member death) as a zero-duration span.
+func (t *Tracer) Event(name string) *Span {
+	return t.Start(name)
+}
+
+func (t *Tracer) record(rec SpanRecord) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, rec)
+	} else {
+		t.buf[t.next] = rec
+		t.next = (t.next + 1) % cap(t.buf)
+		t.wrapped = true
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of spans currently buffered.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Dropped returns how many spans were overwritten by newer ones.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Snapshot returns the buffered spans oldest-first.
+func (t *Tracer) Snapshot() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.buf))
+	if t.wrapped {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// WriteJSONL writes the buffered spans oldest-first, one JSON object
+// per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range t.Snapshot() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type tracerCtxKey struct{}
+
+// NewContext returns ctx carrying the tracer for StartSpan.
+func NewContext(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerCtxKey{}, t)
+}
+
+// FromContext returns the tracer carried by ctx, or nil.
+func FromContext(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerCtxKey{}).(*Tracer)
+	return t
+}
+
+// StartSpan opens a span on the context's tracer (a no-op span when
+// the context carries none): ctx, sp := obs.StartSpan(ctx, "pack.A").
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, FromContext(ctx).Start(name)
+}

@@ -67,10 +67,14 @@ func tilesFor(m, n, tm, tn int) []*tile {
 
 // tileSeconds models one tile's full-routine time on a member; a member
 // the model cannot price gets an effectively infinite cost so the
-// greedy assigner avoids it unless it is the only choice.
+// greedy assigner avoids it unless it is the only choice. "Cannot
+// price" includes degenerate model output — zero, negative, NaN or
+// infinite seconds — which would otherwise corrupt every downstream
+// load comparison (NaN in particular poisons the greedy argmin, since
+// it compares false against everything).
 func tileSeconds(mb *member, prec matrix.Precision, th, tw, k int) float64 {
 	bd, err := mb.impl(prec).Time(th, tw, k)
-	if err != nil || bd.TotalSeconds <= 0 {
+	if err != nil || math.IsNaN(bd.TotalSeconds) || bd.TotalSeconds <= 0 {
 		return math.Inf(1)
 	}
 	return bd.TotalSeconds
@@ -90,7 +94,7 @@ func assign(tiles []*tile, live []*member, prec matrix.Precision, k int) [][]*ti
 	for i := range costs {
 		costs[i] = make(map[shape]float64)
 	}
-	for _, t := range tiles {
+	for ti, t := range tiles {
 		best, bestDone := -1, math.Inf(1)
 		for i, mb := range live {
 			c, ok := costs[i][shape{t.th, t.tw}]
@@ -103,8 +107,12 @@ func assign(tiles []*tile, live []*member, prec matrix.Precision, k int) [][]*ti
 			}
 		}
 		if best < 0 {
-			// No member can be priced; fall back to round-robin.
-			best = len(queues[0]) % len(live)
+			// No member can be priced (every cost is +Inf, so the argmin
+			// never fires); deal by tile index so the round-robin actually
+			// rotates — keying on a queue length stops rotating the moment
+			// that queue grows.
+			queues[ti%len(live)] = append(queues[ti%len(live)], t)
+			continue
 		}
 		queues[best] = append(queues[best], t)
 		loads[best] = bestDone
@@ -185,13 +193,21 @@ func (p *Pool) Estimate(prec matrix.Precision, m, n, k int) (*Estimate, error) {
 		}
 		est.Members = append(est.Members, me)
 	}
-	if est.Seconds > 0 {
-		est.GFlops = flops / est.Seconds / 1e9
+	if !isFinitePositive(est.Seconds) {
+		return nil, fmt.Errorf("%w: %s %dx%dx%d (modeled makespan %v)",
+			ErrUnpriceable, prec.GEMMName(), m, n, k, est.Seconds)
 	}
+	est.GFlops = flops / est.Seconds / 1e9
 	if est.BestSingleGFlops > 0 {
 		est.Speedup = est.GFlops / est.BestSingleGFlops
 	}
 	return est, nil
+}
+
+// isFinitePositive reports a usable modeled duration: > 0, not NaN,
+// not infinite.
+func isFinitePositive(s float64) bool {
+	return s > 0 && !math.IsInf(s, 1)
 }
 
 // how returns the parameter provenance for a precision.

@@ -61,6 +61,7 @@ func Run[T matrix.Scalar](p *Pool, ta, tb blas.Transpose, alpha T, a, b *matrix.
 	}
 	rs.cond = sync.NewCond(&rs.mu)
 
+	runStart := time.Now()
 	var wg sync.WaitGroup
 	for i, mb := range live {
 		wg.Add(1)
@@ -70,6 +71,8 @@ func Run[T matrix.Scalar](p *Pool, ta, tb blas.Transpose, alpha T, a, b *matrix.
 		}(i, mb)
 	}
 	wg.Wait()
+	p.o.runs.Inc()
+	p.o.runSec.Observe(time.Since(runStart).Seconds())
 
 	if rs.fatal != nil {
 		return rs.fatal
@@ -94,16 +97,25 @@ func worker[T matrix.Scalar](p *Pool, rs *runState, me int, mb *member, ta, tb b
 		if !ok {
 			return
 		}
+		sp := mb.tr.Start("sched.tile")
+		sp.SetFlops(int64(blas.FlopCount(t.th, t.tw, k))).
+			SetAttr("device", mb.dev.ID).
+			SetAttr("tile", fmt.Sprintf("%d,%d %dx%d", t.i0, t.j0, t.th, t.tw))
+		if stolen {
+			sp.SetAttr("stolen", "true")
+		}
 		start := time.Now()
 		err := execTile(mb, t, ta, tb, alpha, a, b, beta, c, k)
 		busy := time.Since(start).Seconds()
 		if err != nil {
+			sp.SetAttr("error", err.Error()).End()
 			p.tileFailed(rs, me, mb, t, err)
 			if mb.isDead() {
 				return
 			}
 			continue
 		}
+		sp.End()
 		p.tileDone(rs, mb, prec, t, stolen, busy, k, beta == 0)
 	}
 }
@@ -204,6 +216,11 @@ func (p *Pool) tileDone(rs *runState, mb *member, prec matrix.Precision, t *tile
 	mb.stats.ModelSeconds += model
 	mb.stats.BytesMoved += int64(t.th*k+k*t.tw+t.th*t.tw*cmul) * int64(prec.Size())
 	mb.mu.Unlock()
+	mb.o.tiles.Inc()
+	if stolen {
+		mb.o.steals.Inc()
+	}
+	mb.o.tileSec.Observe(busy)
 
 	rs.mu.Lock()
 	rs.pending--
@@ -223,10 +240,10 @@ func (p *Pool) tileFailed(rs *runState, me int, mb *member, t *tile, err error) 
 	mb.stats.Retries++
 	mb.consecFails++
 	if errors.Is(err, ErrDeviceDead) || mb.consecFails >= p.failThreshold {
-		mb.dead = true
-		mb.stats.Dead = true
+		mb.markDeadLocked()
 	}
 	mb.mu.Unlock()
+	mb.o.failures.Inc()
 
 	t.attempts++
 	rs.mu.Lock()
@@ -237,7 +254,9 @@ func (p *Pool) tileFailed(rs *runState, me int, mb *member, t *tile, err error) 
 	case t.attempts >= p.maxAttempts:
 		rs.fatal = fmt.Errorf("sched: tile (%d,%d) %dx%d failed %d times across the pool: %w",
 			t.i0, t.j0, t.th, t.tw, t.attempts, err)
-	case !rs.requeue(t, me):
+	case rs.requeue(t, me):
+		p.o.requeues.Inc()
+	default:
 		rs.fatal = fmt.Errorf("%w: %d tiles pending (last failure: %v)", ErrNoDevices, rs.pending, err)
 	}
 	rs.cond.Broadcast()

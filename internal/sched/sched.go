@@ -28,6 +28,7 @@ import (
 	"oclgemm/internal/device"
 	"oclgemm/internal/gemmimpl"
 	"oclgemm/internal/matrix"
+	"oclgemm/internal/obs"
 	"oclgemm/internal/tunedb"
 )
 
@@ -38,6 +39,11 @@ var ErrDeviceDead = errors.New("sched: device removed from pool")
 
 // ErrNoDevices reports a Run on a pool whose members are all dead.
 var ErrNoDevices = errors.New("sched: no live devices in pool")
+
+// ErrUnpriceable reports that the performance model produced no usable
+// (finite, positive) time on any live member, so an Estimate would be
+// meaningless rather than merely pessimistic.
+var ErrUnpriceable = errors.New("sched: performance model cannot price the problem on any member")
 
 // DefaultFailThreshold is the number of consecutive tile failures after
 // which a member is declared dead and drained.
@@ -76,6 +82,15 @@ type Options struct {
 	// every member (fault injection: return an error to fail the
 	// launch). It receives the member's device ID and the kernel name.
 	LaunchHook func(deviceID, kernelName string) error
+	// Obs, when set, receives the pool's execution record: per-member
+	// sched.tiles / sched.steals / sched.tile.failures /
+	// sched.member.deaths counters and sched.tile.seconds histograms
+	// (device-labeled), pool-wide sched.runs / sched.run.seconds /
+	// sched.requeues, and each member's engine and clsim metrics.
+	Obs *obs.Registry
+	// Trace, when set, records one span per executed tile (plus each
+	// member's engine phase spans) into its ring buffer.
+	Trace *obs.Tracer
 }
 
 // DeviceStats is one member's cumulative execution record.
@@ -102,6 +117,26 @@ type DeviceStats struct {
 	Dead bool
 }
 
+// memberObs holds one member's pre-resolved, device-labeled
+// instruments; the zero value (no registry) no-ops on every call.
+type memberObs struct {
+	tiles    *obs.Counter
+	steals   *obs.Counter
+	failures *obs.Counter
+	deaths   *obs.Counter
+	tileSec  *obs.Histogram
+}
+
+func resolveMemberObs(r *obs.Registry, id string) memberObs {
+	return memberObs{
+		tiles:    r.Counter(obs.Label("sched.tiles", "device", id)),
+		steals:   r.Counter(obs.Label("sched.steals", "device", id)),
+		failures: r.Counter(obs.Label("sched.tile.failures", "device", id)),
+		deaths:   r.Counter(obs.Label("sched.member.deaths", "device", id)),
+		tileSec:  r.Histogram(obs.Label("sched.tile.seconds", "device", id)),
+	}
+}
+
 // member is one pool slot: a device plus a persistent execution engine
 // (plan cache) per precision, built from the tuning database.
 type member struct {
@@ -111,6 +146,9 @@ type member struct {
 	im32, im64   *gemmimpl.Impl
 	eng32, eng64 *gemmimpl.Engine
 	how32, how64 string
+
+	o  memberObs
+	tr *obs.Tracer
 
 	mu          sync.Mutex
 	dead        bool
@@ -126,9 +164,19 @@ func (mb *member) isDead() bool {
 
 func (mb *member) markDead() {
 	mb.mu.Lock()
+	mb.markDeadLocked()
+	mb.mu.Unlock()
+}
+
+// markDeadLocked declares the member dead under mb.mu, counting the
+// death event only on the first transition.
+func (mb *member) markDeadLocked() {
+	if mb.dead {
+		return
+	}
 	mb.dead = true
 	mb.stats.Dead = true
-	mb.mu.Unlock()
+	mb.o.deaths.Inc()
 }
 
 // Pool is a set of devices that jointly execute GEMM calls. Engines,
@@ -141,6 +189,15 @@ type Pool struct {
 
 	maxAttempts   int
 	failThreshold int
+
+	o poolObs
+}
+
+// poolObs holds the pool-wide instruments (zero value no-ops).
+type poolObs struct {
+	runs     *obs.Counter
+	runSec   *obs.Histogram
+	requeues *obs.Counter
 }
 
 // New builds a pool: every device resolves its tuned kernel for both
@@ -165,6 +222,11 @@ func New(opts Options) (*Pool, error) {
 	if p.failThreshold <= 0 {
 		p.failThreshold = DefaultFailThreshold
 	}
+	p.o = poolObs{
+		runs:     opts.Obs.Counter("sched.runs"),
+		runSec:   opts.Obs.Histogram("sched.run.seconds"),
+		requeues: opts.Obs.Counter("sched.requeues"),
+	}
 	for i, d := range opts.Devices {
 		mb, err := p.newMember(i, d, db)
 		if err != nil {
@@ -178,6 +240,8 @@ func New(opts Options) (*Pool, error) {
 func (p *Pool) newMember(idx int, d *device.Spec, db *tunedb.DB) (*member, error) {
 	mb := &member{idx: idx, dev: d}
 	mb.stats.Device = d.ID
+	mb.o = resolveMemberObs(p.opts.Obs, d.ID)
+	mb.tr = p.opts.Trace
 	hook := func(kernelName string) error {
 		if mb.isDead() {
 			return fmt.Errorf("%w: %s", ErrDeviceDead, d.ID)
@@ -202,6 +266,8 @@ func (p *Pool) newMember(idx int, d *device.Spec, db *tunedb.DB) (*member, error
 		}
 		im.Workers = p.opts.Workers
 		im.LaunchHook = hook
+		im.Obs = p.opts.Obs
+		im.Trace = p.opts.Trace
 		return im, gemmimpl.NewEngine(im), how, nil
 	}
 	var err error

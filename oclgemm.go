@@ -160,6 +160,10 @@ type TuneOptions struct {
 	JournalPath string
 	// Context cancels a running search (nil = background).
 	Context context.Context
+	// Metrics, when set, receives the search's measurement record:
+	// per-evaluation timing (tune.eval.seconds), evaluation and failure
+	// counters, and the final per-cause rejection tally.
+	Metrics *Metrics
 }
 
 // CurvePoint is one (N, GFlop/s) sample of a tuned kernel.
@@ -210,6 +214,7 @@ func Tune(opts TuneOptions) (*TuneResult, error) {
 		Verify:        opts.Verify,
 		JournalPath:   opts.JournalPath,
 		Context:       opts.Context,
+		Obs:           opts.Metrics,
 	})
 	if err != nil {
 		return nil, err

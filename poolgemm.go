@@ -27,6 +27,14 @@ type PoolOptions struct {
 	// every member (fault injection: return an error to fail the
 	// launch). It receives the member's device ID and the kernel name.
 	LaunchHook func(deviceID, kernelName string) error
+	// Metrics, when set, receives the pool's execution record:
+	// device-labeled per-member tile/steal/failure/death counters and
+	// tile-time histograms, pool-wide run counters, and every member
+	// engine's per-phase and runtime metrics.
+	Metrics *Metrics
+	// Trace, when set, records one span per executed tile plus the
+	// members' engine phase spans into its ring buffer.
+	Trace *Trace
 }
 
 // PoolDeviceStats is one member's cumulative execution record: tiles
@@ -77,6 +85,8 @@ func NewPoolGEMM(opts PoolOptions) (*PoolGEMM, error) {
 		MaxAttempts:   opts.MaxAttempts,
 		FailThreshold: opts.FailThreshold,
 		LaunchHook:    opts.LaunchHook,
+		Obs:           opts.Metrics,
+		Trace:         opts.Trace,
 	})
 	if err != nil {
 		return nil, err
