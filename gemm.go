@@ -46,6 +46,12 @@ func (g *GEMM) SetWorkers(n int) { g.eng.Impl().Workers = n }
 // The routine remains usable; the next call rebuilds its plan.
 func (g *GEMM) Close() { g.eng.Close() }
 
+// SetFastPath enables (the default) or disables the specialized
+// micro-kernel fast paths for plans built after the call; combined with
+// Close it lets benchmarks A/B the fast and generic kernel paths.
+// Results are bit-identical either way; only speed changes.
+func (g *GEMM) SetFastPath(enabled bool) { g.eng.Impl().ForceGenericKernels = !enabled }
+
 // Run computes C ← alpha·op(A)·op(B) + beta·C functionally on the
 // simulated device. The element type T must match the routine's
 // precision (float32 for Single, float64 for Double).

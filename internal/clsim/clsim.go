@@ -179,6 +179,11 @@ type Queue struct {
 
 	mu    sync.Mutex
 	stats QueueStats
+
+	// grFree recycles GroupRun frames across lockstep launches so a
+	// warm launch performs no per-group allocations.
+	grMu   sync.Mutex
+	grFree []*GroupRun
 }
 
 // NewQueue creates a command queue on the context.

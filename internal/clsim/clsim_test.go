@@ -349,3 +349,98 @@ func TestLaunchHookVetoesLaunches(t *testing.T) {
 		t.Errorf("hook saw %v, want [lockstep-sum ids]", seen)
 	}
 }
+
+// fastSum is lockstepSum rewritten the micro-kernel way: local memory
+// charged with TakeLocal against a pooled slab, phases fused into bulk
+// loops with PhaseBarrier. It must produce the same results, the same
+// barrier statistics, and zero allocations once warm.
+type fastSum struct {
+	in, out []float64
+	partial []float64
+}
+
+func (k *fastSum) Name() string { return "fast-sum" }
+func (k *fastSum) RunGroup(g *GroupRun) {
+	g.TakeLocal(8 * g.Size())
+	for lx := 0; lx < g.Size(); lx++ {
+		k.partial[lx] = k.in[g.GlobalID0(lx)]
+	}
+	g.PhaseBarrier()
+	var s float64
+	for _, v := range k.partial {
+		s += v
+	}
+	k.out[g.ID(0)] = s
+	g.PhaseBarrier()
+}
+
+// PhaseBarrier must count exactly like the implicit ForAll barrier, so
+// fused fast paths report identical QueueStats.
+func TestPhaseBarrierMatchesForAll(t *testing.T) {
+	in := make([]float64, 32)
+	for i := range in {
+		in[i] = float64(i)
+	}
+	nd := NDRange{Global: [2]int{32, 1}, Local: [2]int{8, 1}}
+
+	qGen := NewQueue(NewContext(testDevice()))
+	gen := &lockstepSum{in: in, out: make([]float64, 4)}
+	if err := qGen.RunLockstep(gen, nd); err != nil {
+		t.Fatal(err)
+	}
+	qFast := NewQueue(NewContext(testDevice()))
+	qFast.Workers = 1 // the shared partial slab needs serial groups
+	fast := &fastSum{in: in, out: make([]float64, 4), partial: make([]float64, 8)}
+	if err := qFast.RunLockstep(fast, nd); err != nil {
+		t.Fatal(err)
+	}
+	for i := range gen.out {
+		if gen.out[i] != fast.out[i] {
+			t.Errorf("group %d: fast sum %v, generic %v", i, fast.out[i], gen.out[i])
+		}
+	}
+	sg, sf := qGen.Stats(), qFast.Stats()
+	if sf.BarriersHit != sg.BarriersHit {
+		t.Errorf("fast barriers = %d, generic = %d", sf.BarriersHit, sg.BarriersHit)
+	}
+}
+
+type takeLocalPanic struct{}
+
+func (takeLocalPanic) Name() string { return "take-local-panic" }
+func (takeLocalPanic) RunGroup(g *GroupRun) {
+	g.TakeLocal(8 << 22) // exceeds every device
+}
+
+// TakeLocal must enforce the same capacity limit as the allocating
+// local-memory calls: pooled slabs cannot bypass ErrLocalMemExceeded.
+func TestTakeLocalEnforcesLimit(t *testing.T) {
+	q := NewQueue(NewContext(testDevice()))
+	nd := NDRange{Global: [2]int{8, 1}, Local: [2]int{8, 1}}
+	err := q.RunLockstep(takeLocalPanic{}, nd)
+	if !errors.Is(err, ErrLocalMemExceeded) {
+		t.Errorf("want ErrLocalMemExceeded, got %v", err)
+	}
+}
+
+// A warm serial lockstep launch must allocate nothing: GroupRun frames
+// are recycled through the queue's free list and the group loop runs
+// without closures. This is the executor's half of the engine-level
+// zero-allocation guarantee on the warm kernel phase.
+func TestSerialLockstepZeroAlloc(t *testing.T) {
+	q := NewQueue(NewContext(testDevice()))
+	q.Workers = 1
+	k := &fastSum{in: make([]float64, 32), out: make([]float64, 4), partial: make([]float64, 8)}
+	nd := NDRange{Global: [2]int{32, 1}, Local: [2]int{8, 1}}
+	if err := q.RunLockstep(k, nd); err != nil { // warm the free list
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := q.RunLockstep(k, nd); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm serial RunLockstep allocated %.1f objects/op, want 0", allocs)
+	}
+}

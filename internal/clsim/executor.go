@@ -56,6 +56,13 @@ func (g *Group) AllocLocalFloat64(n int) []float64 {
 	return make([]float64, n)
 }
 
+// TakeLocal charges bytes of local memory against the device capacity
+// without allocating backing storage. Kernels that pool their local
+// slabs across launches use it so the per-group capacity accounting —
+// and its ErrLocalMemExceeded panic — stays exactly as strict as
+// AllocLocalFloat32/64.
+func (g *Group) TakeLocal(bytes int) { g.takeLocal(bytes) }
+
 func (g *Group) takeLocal(bytes int) {
 	g.localUsed += bytes
 	if g.localUsed > g.dev.Spec.LocalMemBytes() {
@@ -141,6 +148,14 @@ func (g *GroupRun) ForAll(fn func(lx, ly int)) {
 	}
 	g.barriers++
 }
+
+// PhaseBarrier records one barrier without iterating work-items. Fast
+// kernel paths that fuse a whole ForAll phase into bulk operations
+// (panel-row copies, register-tiled loops) call it once per fused phase
+// so their barrier statistics stay identical to the generic
+// phase-by-phase form — tests assert fast and generic launches report
+// the same QueueStats.
+func (g *GroupRun) PhaseBarrier() { g.barriers++ }
 
 // GlobalID0 returns the global id in dimension 0 for local id lx.
 func (g *GroupRun) GlobalID0(lx int) int { return g.id[0]*g.nd.Local[0] + lx }
@@ -269,31 +284,97 @@ func (q *Queue) runGroupConcurrent(k WorkItemKernel, nd NDRange, gid [2]int, bar
 // RunLockstep executes a GroupKernel over the NDRange, distributing
 // independent groups over the queue's worker pool (bounded by the
 // Workers option). Kernel panics become errors.
+//
+// The single-worker path is allocation-free in the steady state:
+// GroupRun frames are recycled through a queue-owned free list (a
+// mutex-guarded stack, not sync.Pool, whose GC-droppable items would
+// defeat the warm-launch zero-allocation guarantee) and the group loop
+// runs without closures.
 func (q *Queue) RunLockstep(k GroupKernel, nd NDRange) error {
 	if err := nd.Validate(q.Ctx.Device); err != nil {
 		return fmt.Errorf("kernel %s: %w", k.Name(), err)
 	}
-	if err := q.launchAllowed(k.Name()); err != nil {
-		return err
+	if q.LaunchHook != nil {
+		if err := q.launchAllowed(k.Name()); err != nil {
+			return err
+		}
 	}
 	var barriers int64
-	err := q.forEachGroup(nd, func(gid [2]int) (err error) {
-		g := &GroupRun{Group: &Group{id: gid, nd: nd, dev: q.Ctx.Device}}
-		defer func() {
-			atomic.AddInt64(&barriers, g.barriers)
-			if r := recover(); r != nil {
-				err = recoveredError(r)
-			}
-		}()
-		k.RunGroup(g)
-		return nil
-	})
-
+	var err error
+	if q.workerCount() == 1 {
+		barriers, err = q.runLockstepSerial(k, nd)
+	} else {
+		barriers, err = q.runLockstepParallel(k, nd)
+	}
 	q.addLaunch(int64(nd.TotalGroups()), int64(nd.Global[0])*int64(nd.Global[1]), barriers)
 	if err != nil {
 		return fmt.Errorf("kernel %s: %w", k.Name(), err)
 	}
 	return nil
+}
+
+func (q *Queue) runLockstepSerial(k GroupKernel, nd NDRange) (int64, error) {
+	groups := nd.NumGroups()
+	var barriers int64
+	var firstErr error
+	for gy := 0; gy < groups[1]; gy++ {
+		for gx := 0; gx < groups[0]; gx++ {
+			g := q.getGroupRun()
+			*g.Group = Group{id: [2]int{gx, gy}, nd: nd, dev: q.Ctx.Device}
+			err := runLockstepGroup(k, g)
+			barriers += g.barriers
+			q.putGroupRun(g)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return barriers, firstErr
+}
+
+func (q *Queue) runLockstepParallel(k GroupKernel, nd NDRange) (int64, error) {
+	var barriers int64
+	err := q.forEachGroup(nd, func(gid [2]int) error {
+		g := q.getGroupRun()
+		*g.Group = Group{id: gid, nd: nd, dev: q.Ctx.Device}
+		err := runLockstepGroup(k, g)
+		atomic.AddInt64(&barriers, g.barriers)
+		q.putGroupRun(g)
+		return err
+	})
+	return barriers, err
+}
+
+// runLockstepGroup runs one group, converting kernel panics (local
+// memory exhaustion, bounds faults) into errors.
+func runLockstepGroup(k GroupKernel, g *GroupRun) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = recoveredError(r)
+		}
+	}()
+	k.RunGroup(g)
+	return nil
+}
+
+func (q *Queue) getGroupRun() *GroupRun {
+	q.grMu.Lock()
+	var g *GroupRun
+	if n := len(q.grFree); n > 0 {
+		g = q.grFree[n-1]
+		q.grFree = q.grFree[:n-1]
+	}
+	q.grMu.Unlock()
+	if g == nil {
+		g = &GroupRun{Group: &Group{}}
+	}
+	return g
+}
+
+func (q *Queue) putGroupRun(g *GroupRun) {
+	q.grMu.Lock()
+	q.grFree = append(q.grFree, g)
+	q.grMu.Unlock()
 }
 
 // launchAllowed consults the queue's LaunchHook (simulated launch-time

@@ -52,6 +52,13 @@ type Impl struct {
 	// every Run into its ring buffer (obs.Tracer). Set it before plans
 	// are built.
 	Trace *obs.Tracer
+
+	// ForceGenericKernels disables the micro-kernel fast paths on every
+	// kernel built by plans of this implementation, forcing the generic
+	// closure reference path. Set it before plans are built; it exists
+	// for A/B benchmarking and for the bit-identity tests that compare
+	// the two paths.
+	ForceGenericKernels bool
 }
 
 // New validates the kernel parameters against the device.

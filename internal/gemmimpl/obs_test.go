@@ -162,3 +162,41 @@ func TestWarmPlanOverheadUnderFivePercent(t *testing.T) {
 			100*overhead, time.Duration(plain), time.Duration(instr))
 	}
 }
+
+// The warm kernel phase must perform zero allocations: work-group state
+// and local-memory slabs are pooled in the kernel, GroupRun frames in
+// the queue, and the serial lockstep loop is closure-free. This is the
+// allocation regression gate for the micro-kernel layer — it holds on
+// the fast path and on the forced-generic path alike.
+func TestWarmKernelPhaseZeroAllocs(t *testing.T) {
+	for _, forceGeneric := range []bool{false, true} {
+		name := "fast"
+		if forceGeneric {
+			name = "generic"
+		}
+		t.Run(name, func(t *testing.T) {
+			im := testImpl(t)
+			im.Workers = 1
+			im.ForceGenericKernels = forceGeneric
+			const m, n, k = 24, 24, 12
+			pl, err := NewPlan[float64](im, m, n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pl.Close()
+			a, b, c := randCM(m, k, 1), randCM(k, n, 2), randCM(m, n, 3)
+			// Warm: packs done, state and GroupRun pools populated.
+			if err := pl.Run(blas.NoTrans, blas.NoTrans, 1.0, a, b, 0.0, c); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if err := pl.q.RunLockstep(pl.kern, pl.kern.NDRange()); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("warm kernel phase (%s path) allocated %.1f objects/op, want 0", name, allocs)
+			}
+		})
+	}
+}

@@ -277,6 +277,16 @@ func NewPlan[T matrix.Scalar](im *Impl, m, n, k int) (*Plan[T], error) {
 		pl.Close()
 		return nil, err
 	}
+	pl.kern.SetObserver(im.Obs)
+	for _, pk := range []*kernels.Pack[T]{pl.packA, pl.packB, pl.packC} {
+		pk.SetObserver(im.Obs)
+	}
+	if im.ForceGenericKernels {
+		pl.kern.SetFastPath(false)
+		for _, pk := range []*kernels.Pack[T]{pl.packA, pl.packB, pl.packC} {
+			pk.SetFastPath(false)
+		}
+	}
 	return pl, nil
 }
 

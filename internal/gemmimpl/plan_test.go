@@ -465,3 +465,106 @@ func runGEMMTable[T matrix.Scalar](t *testing.T, im *Impl, sizes []int) {
 		}
 	}
 }
+
+// comparePlanPaths runs one full plan call (pack + kernel + readback)
+// through the micro-kernel fast paths and through an implementation
+// with ForceGenericKernels set, and demands bit-identical C output.
+func comparePlanPaths[T matrix.Scalar](t *testing.T, p codegen.Params, ta, tb blas.Transpose, m, n, k int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	newMat := func(r, c int) *matrix.Matrix[T] {
+		mt := matrix.New[T](r, c, matrix.ColMajor)
+		mt.FillRandom(rng)
+		return mt
+	}
+	a := newMat(m, k)
+	if ta == blas.Trans {
+		a = newMat(k, m)
+	}
+	b := newMat(k, n)
+	if tb == blas.Trans {
+		b = newMat(n, k)
+	}
+	c0 := newMat(m, n)
+
+	run := func(forceGeneric bool) []T {
+		im, err := New(device.Tahiti(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		im.Workers = 1
+		im.ForceGenericKernels = forceGeneric
+		pl, err := NewPlan[T](im, m, n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pl.Close()
+		c := c0.Clone()
+		if err := pl.Run(ta, tb, T(1.25), a, b, T(-0.5), c); err != nil {
+			t.Fatal(err)
+		}
+		return c.Data
+	}
+	got := run(false)
+	want := run(true)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s ta=%v tb=%v: element %d not bit-identical: fast %v, generic %v",
+				p.Name(), ta, tb, i, got[i], want[i])
+		}
+	}
+}
+
+// The fast-path plan must be bit-identical to the generic-path plan
+// over sampled kernel parameter points × all three schedules × all four
+// transpose types × both precisions, through the full padded pipeline
+// (packs included).
+func TestPlanFastPathMatchesGenericBitIdentical(t *testing.T) {
+	samples := []codegen.Params{
+		{ // BA, fully shared, blocked layouts (testImpl's point)
+			Algorithm: codegen.BA,
+			Mwg: 8, Nwg: 8, Kwg: 4,
+			MdimC: 4, NdimC: 4, MdimA: 4, NdimB: 4,
+			Kwi: 2, VectorWidth: 1,
+			SharedA: true, SharedB: true,
+			LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL,
+		},
+		{ // PL, one operand direct from global memory, mixed layouts, vw=2
+			Algorithm: codegen.PL,
+			Mwg: 8, Nwg: 8, Kwg: 4,
+			MdimC: 4, NdimC: 4, MdimA: 4, NdimB: 4,
+			Kwi: 2, VectorWidth: 2,
+			SharedB: true,
+			LayoutA: matrix.LayoutRowMajor, LayoutB: matrix.LayoutRBL,
+		},
+		{ // DB, even half-panels, blocked layouts
+			Algorithm: codegen.DB,
+			Mwg: 8, Nwg: 8, Kwg: 8,
+			MdimC: 4, NdimC: 4, MdimA: 4, NdimB: 4,
+			Kwi: 2, VectorWidth: 1,
+			SharedA: true, SharedB: true,
+			LayoutA: matrix.LayoutRBL, LayoutB: matrix.LayoutCBL,
+		},
+		{ // strided point: both plans run the generic micro-kernel
+			Algorithm: codegen.BA,
+			Mwg: 8, Nwg: 8, Kwg: 4,
+			MdimC: 4, NdimC: 4, MdimA: 4, NdimB: 4,
+			Kwi: 2, VectorWidth: 1, StrideM: true, StrideN: true,
+			SharedA: true, SharedB: true,
+			LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL,
+		},
+	}
+	m, n, k := 13, 19, 11 // pads on every side
+	var seed int64 = 40
+	for _, p := range samples {
+		for _, g := range blas.GEMMTypes {
+			seed++
+			pd := p
+			pd.Precision = matrix.Double
+			comparePlanPaths[float64](t, pd, g.TransA, g.TransB, m, n, k, seed)
+			ps := p
+			ps.Precision = matrix.Single
+			comparePlanPaths[float32](t, ps, g.TransA, g.TransB, m, n, k, seed)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"oclgemm/internal/clsim"
 	"oclgemm/internal/codegen"
 	"oclgemm/internal/matrix"
+	"oclgemm/internal/obs"
 )
 
 // index maps matrix coordinates (r, c) of an R×C operand to a flat
@@ -50,6 +51,11 @@ type GEMM[T matrix.Scalar] struct {
 	A, B, C     []T
 
 	idxA, idxB index
+	geoA, geoB panelGeom
+	micro      microKind
+	esize      int
+	pool       statePool[T]
+	o          kernObs
 }
 
 // NewGEMM validates shapes and builds the kernel.
@@ -70,10 +76,34 @@ func NewGEMM[T matrix.Scalar](p codegen.Params, m, n, k int, alpha T, a []T, b [
 		P: p, M: m, N: n, K: k,
 		Alpha: alpha, Beta: beta,
 		A: a, B: b, C: c,
-		idxA: indexer(p.LayoutA, k, m, p.Kwg, p.Mwg),
-		idxB: indexer(p.LayoutB, k, n, p.Kwg, p.Nwg),
+		idxA:  indexer(p.LayoutA, k, m, p.Kwg, p.Mwg),
+		idxB:  indexer(p.LayoutB, k, n, p.Kwg, p.Nwg),
+		geoA:  panelGeom{layout: p.LayoutA, rows: k, cols: m, rb: p.Kwg, cb: p.Mwg},
+		geoB:  panelGeom{layout: p.LayoutB, rows: k, cols: n, rb: p.Kwg, cb: p.Nwg},
+		micro: selectMicro(p),
+		esize: elemBytes[T](),
 	}, nil
 }
+
+// SetObserver resolves the kernel's micro-kernel selection counters
+// from the registry (kernels.gemm.groups{micro=unit|generic}, one
+// increment per executed work-group). A nil registry detaches.
+func (g *GEMM[T]) SetObserver(r *obs.Registry) { g.o = resolveKernObs(r, "gemm") }
+
+// SetFastPath re-runs (enabled) or overrides (disabled) the
+// micro-kernel dispatch. Disabling forces every phase through the
+// generic closure path — the semantic reference the fast paths are
+// tested bit-identical against.
+func (g *GEMM[T]) SetFastPath(enabled bool) {
+	if enabled {
+		g.micro = selectMicro(g.P)
+	} else {
+		g.micro = microGeneric
+	}
+}
+
+// Micro reports which micro-kernel the dispatch selected.
+func (g *GEMM[T]) Micro() string { return g.micro.String() }
 
 // Name implements clsim.GroupKernel.
 func (g *GEMM[T]) Name() string { return g.P.Name() }
@@ -119,39 +149,28 @@ func (g *GEMM[T]) colOf(gy, ly, j int) int {
 
 // state is the per-work-group execution state shared by the three
 // schedules: local memory panels and per-work-item private memory.
+// Instances are recycled through the kernel's statePool (micro.go), so
+// a warm launch allocates nothing.
 type state[T matrix.Scalar] struct {
 	alm, blm []T // local panels (Kwg×Mwg / Kwg×Nwg), nil if not shared
 	acc      []T // per-WI accumulators, wi*Mwi*Nwi
 	mwi, nwi int
-}
 
-func (g *GEMM[T]) newState(run *clsim.GroupRun) *state[T] {
-	s := &state[T]{mwi: g.P.Mwi(), nwi: g.P.Nwi()}
-	s.acc = make([]T, run.Size()*s.mwi*s.nwi)
-	if g.P.SharedA {
-		s.alm = allocLocal[T](run, g.P.Kwg*g.P.Mwg)
-	}
-	if g.P.SharedB {
-		s.blm = allocLocal[T](run, g.P.Kwg*g.P.Nwg)
-	}
-	return s
-}
-
-func allocLocal[T matrix.Scalar](run *clsim.GroupRun, n int) []T {
-	var zero T
-	switch any(zero).(type) {
-	case float64:
-		return any(run.AllocLocalFloat64(n)).([]T)
-	default:
-		return any(run.AllocLocalFloat32(n)).([]T)
-	}
+	// stageA/stageB are the PL schedule's private staging registers,
+	// allocated lazily by the generic path and kept across reuse.
+	stageA, stageB []T
 }
 
 // loadPanelA cooperatively stages rows [pwg+k0, pwg+k0+kLen) of the A
 // panel into alm (local layout: row-major Kwg×Mwg with row origin k0).
 // Each work-item covers an MwiA×KwiA' slice under the reshaped
-// (MdimA × KdimA) assignment of §III-C.
+// (MdimA × KdimA) assignment of §III-C. The unit-stride micro-kernel
+// fuses the scatter into whole-row copies (micro.go).
 func (g *GEMM[T]) loadPanelA(s *state[T], run *clsim.GroupRun, gx, pwg, k0, kLen int) {
+	if g.micro == microUnit {
+		g.loadPanelAFast(s, run, gx, pwg, k0, kLen)
+		return
+	}
 	p := &g.P
 	mdimA := p.MdimA
 	kdim := p.WGSize() / mdimA
@@ -172,6 +191,10 @@ func (g *GEMM[T]) loadPanelA(s *state[T], run *clsim.GroupRun, gx, pwg, k0, kLen
 
 // loadPanelB is the B counterpart of loadPanelA (NdimB × KdimB grid).
 func (g *GEMM[T]) loadPanelB(s *state[T], run *clsim.GroupRun, gy, pwg, k0, kLen int) {
+	if g.micro == microUnit {
+		g.loadPanelBFast(s, run, gy, pwg, k0, kLen)
+		return
+	}
 	p := &g.P
 	ndimB := p.NdimB
 	kdim := p.WGSize() / ndimB
@@ -192,8 +215,13 @@ func (g *GEMM[T]) loadPanelB(s *state[T], run *clsim.GroupRun, gy, pwg, k0, kLen
 
 // compute performs the inner multiply-accumulate for local k range
 // [k0, k0+kLen) of the panel at pwg. Operands come from local memory
-// when staged, directly from global memory otherwise.
+// when staged, directly from global memory otherwise. The unit-stride
+// micro-kernel register-tiles the same loop nest (micro.go).
 func (g *GEMM[T]) compute(s *state[T], run *clsim.GroupRun, gx, gy, pwg, k0, kLen int) {
+	if g.micro == microUnit {
+		g.computeUnit(s, run, gx, gy, pwg, k0, kLen)
+		return
+	}
 	p := &g.P
 	run.ForAll(func(lx, ly int) {
 		wi := ly*p.MdimC + lx
@@ -230,6 +258,10 @@ func (g *GEMM[T]) compute(s *state[T], run *clsim.GroupRun, gx, gy, pwg, k0, kLe
 // uninitialized output buffers cannot corrupt the result (0·NaN = NaN
 // would otherwise leak through).
 func (g *GEMM[T]) merge(s *state[T], run *clsim.GroupRun, gx, gy int) {
+	if g.micro == microUnit {
+		g.mergeUnit(s, run, gx, gy)
+		return
+	}
 	p := &g.P
 	run.ForAll(func(lx, ly int) {
 		wi := ly*p.MdimC + lx
@@ -250,23 +282,27 @@ func (g *GEMM[T]) merge(s *state[T], run *clsim.GroupRun, gx, gy int) {
 }
 
 // RunGroup implements clsim.GroupKernel, dispatching on the schedule.
+// Work-group state comes from the kernel's free list and goes back when
+// the group finishes, so warm launches allocate nothing.
 func (g *GEMM[T]) RunGroup(run *clsim.GroupRun) {
+	g.o.group(g.micro)
+	s := g.getState(run)
+	defer g.putState(s)
 	switch g.P.Algorithm {
 	case codegen.PL:
-		g.runPL(run)
+		g.runPL(s, run)
 	case codegen.DB:
-		g.runDB(run)
+		g.runDB(s, run)
 	default:
-		g.runBA(run)
+		g.runBA(s, run)
 	}
 }
 
 // runBA is the basic algorithm (Fig. 4): stage panel, barrier, compute,
 // barrier, next panel.
-func (g *GEMM[T]) runBA(run *clsim.GroupRun) {
+func (g *GEMM[T]) runBA(s *state[T], run *clsim.GroupRun) {
 	p := &g.P
 	gx, gy := run.ID(0), run.ID(1)
-	s := g.newState(run)
 	for pwg := 0; pwg < g.K; pwg += p.Kwg {
 		if p.SharedA {
 			g.loadPanelA(s, run, gx, pwg, 0, p.Kwg)
@@ -288,10 +324,13 @@ func (g *GEMM[T]) runBA(run *clsim.GroupRun) {
 // (prologue, pipelined body, epilogue) is followed faithfully so the
 // barrier structure matches the generated source. Operands not staged
 // through local memory are read directly, as in BA.
-func (g *GEMM[T]) runPL(run *clsim.GroupRun) {
+func (g *GEMM[T]) runPL(s *state[T], run *clsim.GroupRun) {
 	p := &g.P
 	gx, gy := run.ID(0), run.ID(1)
-	s := g.newState(run)
+	if g.micro == microUnit {
+		g.runPLFast(s, run, gx, gy)
+		return
+	}
 
 	// Prologue (Fig. 5 lines 2-4): first panel into local memory.
 	if p.SharedA {
@@ -301,14 +340,15 @@ func (g *GEMM[T]) runPL(run *clsim.GroupRun) {
 		g.loadPanelB(s, run, gy, 0, 0, p.Kwg)
 	}
 
-	// Per-work-item staging registers for the next panel.
-	var stageA, stageB []T
-	if p.SharedA {
-		stageA = make([]T, run.Size()*p.MwiA()*p.KwiA())
+	// Per-work-item staging registers for the next panel, kept in the
+	// pooled state across groups and launches.
+	if p.SharedA && s.stageA == nil {
+		s.stageA = make([]T, run.Size()*p.MwiA()*p.KwiA())
 	}
-	if p.SharedB {
-		stageB = make([]T, run.Size()*p.KwiB()*p.NwiB())
+	if p.SharedB && s.stageB == nil {
+		s.stageB = make([]T, run.Size()*p.KwiB()*p.NwiB())
 	}
+	stageA, stageB := s.stageA, s.stageB
 
 	pwg := 0
 	for ; pwg <= g.K-2*p.Kwg; pwg += p.Kwg {
@@ -417,10 +457,9 @@ func (g *GEMM[T]) stageStoreB(s *state[T], run *clsim.GroupRun, stage []T) {
 // buffers, so loads of one half overlap compute on the other. The two
 // halves live in the same local allocation (first and second Kwg/2
 // rows), matching the total local-memory budget of BA.
-func (g *GEMM[T]) runDB(run *clsim.GroupRun) {
+func (g *GEMM[T]) runDB(s *state[T], run *clsim.GroupRun) {
 	p := &g.P
 	gx, gy := run.ID(0), run.ID(1)
-	s := g.newState(run)
 	half := p.Kwg / 2
 
 	// Lines 2-3: first half of the first panel into buffer 0.

@@ -6,6 +6,7 @@ import (
 	"oclgemm/internal/clsim"
 	"oclgemm/internal/codegen"
 	"oclgemm/internal/matrix"
+	"oclgemm/internal/obs"
 )
 
 // Pack is the native executable form of the §III-D copy kernel: it
@@ -20,7 +21,10 @@ type Pack[T matrix.Scalar] struct {
 	S          []T
 	D          []T
 
-	idx index
+	idx   index
+	geo   panelGeom
+	micro microKind
+	o     kernObs
 }
 
 // NewPack validates shapes and builds the kernel.
@@ -42,9 +46,30 @@ func NewPack[T matrix.Scalar](p codegen.PackParams, sr, sc, ld, r, c int, s, d [
 	}
 	return &Pack[T]{
 		P: p, SR: sr, SC: sc, LD: ld, R: r, C: c, S: s, D: d,
-		idx: indexer(p.Layout, r, c, p.Rb, p.Cb),
+		idx:   indexer(p.Layout, r, c, p.Rb, p.Cb),
+		geo:   panelGeom{layout: p.Layout, rows: r, cols: c, rb: p.Rb, cb: p.Cb},
+		micro: microUnit,
 	}, nil
 }
+
+// SetObserver resolves the pack kernel's micro-kernel selection
+// counters (kernels.pack.groups{micro=...}). A nil registry detaches.
+func (k *Pack[T]) SetObserver(r *obs.Registry) { k.o = resolveKernObs(r, "pack") }
+
+// SetFastPath toggles between the row-run copy fast path (the default —
+// valid for every pack geometry, since the destination is contiguous
+// within each Cb-wide block run under all three layouts) and the
+// per-element generic reference path.
+func (k *Pack[T]) SetFastPath(enabled bool) {
+	if enabled {
+		k.micro = microUnit
+	} else {
+		k.micro = microGeneric
+	}
+}
+
+// Micro reports which micro-kernel the dispatch selected.
+func (k *Pack[T]) Micro() string { return k.micro.String() }
 
 // Name implements clsim.GroupKernel.
 func (k *Pack[T]) Name() string {
@@ -75,6 +100,17 @@ func (k *Pack[T]) NDRange() clsim.NDRange {
 
 // RunGroup implements clsim.GroupKernel.
 func (k *Pack[T]) RunGroup(run *clsim.GroupRun) {
+	k.o.group(k.micro)
+	if k.micro != microUnit {
+		k.runGeneric(run)
+		return
+	}
+	k.runFast(run)
+}
+
+// runGeneric is the element-by-element reference path, mirroring the
+// generated OpenCL source one work-item at a time.
+func (k *Pack[T]) runGeneric(run *clsim.GroupRun) {
 	run.ForAll(func(lx, ly int) {
 		c := run.GlobalID0(lx)
 		r := run.GlobalID1(ly)
@@ -93,4 +129,48 @@ func (k *Pack[T]) RunGroup(run *clsim.GroupRun) {
 		}
 		k.D[k.idx(r, c)] = v
 	})
+}
+
+// runFast processes the group's destination tile row by row, splitting
+// each row at Cb block boundaries so every segment is contiguous in the
+// destination. Untransposed sources are row-major and unit-stride along
+// c, so valid segments reduce to copy(); the transposed read is a
+// column gather (LD-strided) but still closure-free. Out-of-source
+// elements are zero-filled with clear(), matching the generic path's
+// zero default. One PhaseBarrier mirrors the generic ForAll barrier.
+func (k *Pack[T]) runFast(run *clsim.GroupRun) {
+	c0 := run.GlobalID0(0)
+	r0 := run.GlobalID1(0)
+	c1 := min(c0+run.LocalSize(0), k.C)
+	r1 := min(r0+run.LocalSize(1), k.R)
+	cb := k.P.Cb
+	for r := r0; r < r1; r++ {
+		for c := c0; c < c1; {
+			blk := c / cb
+			segEnd := min((blk+1)*cb, c1)
+			start := k.geo.rowStart(r, blk) + c%cb
+			dst := k.D[start : start+segEnd-c]
+			switch {
+			case k.P.Transpose && r < k.SC:
+				valid := min(segEnd, k.SR)
+				i := 0
+				for cc := c; cc < valid; cc++ {
+					dst[i] = k.S[cc*k.LD+r]
+					i++
+				}
+				clear(dst[i:])
+			case !k.P.Transpose && r < k.SR:
+				valid := min(segEnd, k.SC)
+				n := 0
+				if valid > c {
+					n = copy(dst[:valid-c], k.S[r*k.LD+c:r*k.LD+valid])
+				}
+				clear(dst[n:])
+			default:
+				clear(dst)
+			}
+			c = segEnd
+		}
+	}
+	run.PhaseBarrier()
 }
