@@ -23,9 +23,20 @@
 //
 //	gemmbench -micro
 //	gemmbench -micro -microsize 512
+//
+// The chaos mode smoke-tests the resilient serve path: a pool run under
+// a deterministic fault injector (transient launch failures, timeouts,
+// a scripted mid-run device death with a later revival), verifying
+// every call returns a bit-identical result or a typed error before its
+// deadline:
+//
+//	gemmbench -chaos
+//	gemmbench -chaos -chaosseed 7 -chaosruns 8
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,7 +46,9 @@ import (
 	"time"
 
 	"oclgemm"
+	"oclgemm/internal/core"
 	"oclgemm/internal/experiments"
+	"oclgemm/internal/faultinject"
 	"oclgemm/internal/matrix"
 )
 
@@ -66,8 +79,15 @@ func run(args []string, stdout io.Writer) error {
 	benchOut := fs.String("bench-out", "", "run the instrumented functional benchmark and write a BENCH_gemm.json report to this file")
 	micro := fs.Bool("micro", false, "time one functional DGEMM with the fast-path micro-kernels and again with the generic kernels, verify bit-identity and print the speedup")
 	microSize := fs.Int("microsize", 256, "square problem size for -micro")
+	chaos := fs.Bool("chaos", false, "run the serve-path chaos smoke: pool DGEMMs under injected launch faults, a scripted device death and a later revival")
+	chaosSeed := fs.Int64("chaosseed", 1, "fault-injection seed for -chaos")
+	chaosRuns := fs.Int("chaosruns", 6, "number of pool runs for -chaos")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *chaos {
+		return runChaos(stdout, *chaosSeed, *chaosRuns)
 	}
 
 	if *micro {
@@ -321,6 +341,124 @@ func runMicro(stdout io.Writer, size int) error {
 	fmt.Fprintf(stdout, "  fast     %8.3f GFlop/s simulated\n", fastGF)
 	fmt.Fprintf(stdout, "  generic  %8.3f GFlop/s simulated\n", genGF)
 	fmt.Fprintf(stdout, "  speedup  %.2fx, results bit-identical\n", fastGF/genGF)
+	return nil
+}
+
+// runChaos smoke-tests the resilient serve path: pool DGEMMs under a
+// deterministic ServeInjector mixing ~30% transient/timeout launch
+// faults with a scripted mid-run death of one member and a later
+// revival. Every call must return a result bit-identical to a
+// single-device run or a typed taxonomy error before its deadline; the
+// summary prints what was injected and how the pool absorbed it.
+func runChaos(stdout io.Writer, seed int64, runs int) error {
+	if runs < 1 {
+		return fmt.Errorf("-chaosruns must be positive, got %d", runs)
+	}
+	const victim = "cayman"
+	inj, err := faultinject.NewServe(faultinject.ServeConfig{
+		Seed:          seed,
+		TransientRate: 0.20,
+		TimeoutRate:   0.12,
+		DeadAt:        map[string]int{victim: 6},
+		ReviveAt:      map[string]int{victim: 14},
+	})
+	if err != nil {
+		return err
+	}
+	pg, err := oclgemm.NewPoolGEMM(oclgemm.PoolOptions{
+		TileM: 32, TileN: 32,
+		Fallback:   true,
+		LaunchHook: inj.Hook,
+	})
+	if err != nil {
+		return err
+	}
+	defer pg.Close()
+
+	const m, n, k = 160, 160, 48
+	a := oclgemm.NewMatrix[float64](m, k, oclgemm.RowMajor)
+	b := oclgemm.NewMatrix[float64](k, n, oclgemm.RowMajor)
+	c0 := oclgemm.NewMatrix[float64](m, n, oclgemm.RowMajor)
+	rng := rand.New(rand.NewSource(seed))
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	c0.FillRandom(rng)
+
+	// The oracle: the same call on one device (tahiti's Table II
+	// kernel). K is never partitioned, so the pool — and the BLAS
+	// fallback rung — must match it bit for bit.
+	p, ok, err := oclgemm.ParamsFor(oclgemm.PaperKernels(), "tahiti", oclgemm.Double)
+	if err != nil || !ok {
+		return fmt.Errorf("tahiti Table II kernel: ok=%v err=%v", ok, err)
+	}
+	d, err := oclgemm.DeviceByID("tahiti")
+	if err != nil {
+		return err
+	}
+	g, err := oclgemm.NewGEMM(d, p)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	want := c0.Clone()
+	if err := g.Run(oclgemm.NoTrans, oclgemm.NoTrans, 1.5, a, b, 0.5, want); err != nil {
+		return err
+	}
+
+	okRuns, typedErrs := 0, 0
+	for i := 0; i < runs; i++ {
+		c := c0.Clone()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		err := pg.RunCtx(ctx, oclgemm.NoTrans, oclgemm.NoTrans, 1.5, a, b, 0.5, c)
+		cancel()
+		if err != nil {
+			// A typed taxonomy error is an acceptable chaos outcome; a
+			// hang or an untyped error is not.
+			typed := errors.Is(err, oclgemm.ErrDeadlineExceeded) ||
+				errors.Is(err, oclgemm.ErrNoDevices) ||
+				errors.Is(err, oclgemm.ErrDeviceDead) ||
+				errors.Is(err, core.ErrTransient) ||
+				errors.Is(err, core.ErrTimeout) ||
+				errors.Is(err, core.ErrCompile) ||
+				errors.Is(err, core.ErrWrongResult)
+			if !typed {
+				return fmt.Errorf("run %d: untyped error: %w", i+1, err)
+			}
+			typedErrs++
+			fmt.Fprintf(stdout, "run %d: typed error: %v\n", i+1, err)
+			continue
+		}
+		for r := 0; r < m; r++ {
+			for cc := 0; cc < n; cc++ {
+				if c.At(r, cc) != want.At(r, cc) {
+					return fmt.Errorf("run %d: C[%d,%d] = %v, want %v — silent wrong result", i+1, r, cc, c.At(r, cc), want.At(r, cc))
+				}
+			}
+		}
+		okRuns++
+	}
+
+	counts := inj.Counts()
+	fmt.Fprintf(stdout, "Chaos smoke (seed %d): %d/%d runs bit-identical, %d typed errors, 0 hangs, 0 silent wrong results\n",
+		seed, okRuns, runs, typedErrs)
+	fmt.Fprintf(stdout, "  injected: %d transient, %d timeout, %d death-window refusals on %s\n",
+		counts[faultinject.Transient], counts[faultinject.Hang], counts[faultinject.Death], victim)
+	var retries, recoveries int
+	for _, st := range pg.Stats() {
+		retries += st.Retries
+	}
+	for _, h := range pg.Health() {
+		recoveries += h.Recoveries
+	}
+	fmt.Fprintf(stdout, "  pool: %d/%d members alive, %d tile retries, %d probe recoveries\n",
+		pg.Alive(), len(pg.Devices()), retries, recoveries)
+	for _, h := range pg.Health() {
+		fmt.Fprintf(stdout, "  %-22s %-11s probes=%d probe_failures=%d recoveries=%d\n",
+			h.Device, h.State, h.Probes, h.ProbeFailures, h.Recoveries)
+	}
+	if okRuns == 0 {
+		return fmt.Errorf("no run completed bit-identically under chaos")
+	}
 	return nil
 }
 

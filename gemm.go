@@ -1,6 +1,8 @@
 package oclgemm
 
 import (
+	"context"
+
 	"oclgemm/internal/blas"
 	"oclgemm/internal/gemmimpl"
 	"oclgemm/internal/matrix"
@@ -59,14 +61,34 @@ func Run[T Scalar](g *GEMM, transA, transB Transpose, alpha T, a, b *Matrix[T], 
 	return gemmimpl.EngineRun(g.eng, transA, transB, alpha, a, b, beta, c)
 }
 
+// RunCtx is Run honoring a context: the call checks the deadline
+// between execution phases (pack A, pack B, pack C, kernel, copy out)
+// and returns the context's error — wrapped with the phase it abandoned
+// — instead of starting the next phase. Committed work is already
+// staged in device buffers, so an abandoned call leaves C untouched.
+func RunCtx[T Scalar](ctx context.Context, g *GEMM, transA, transB Transpose, alpha T, a, b *Matrix[T], beta T, c *Matrix[T]) error {
+	return gemmimpl.EngineRunCtx(ctx, g.eng, transA, transB, alpha, a, b, beta, c)
+}
+
 // Run is a convenience method for float64 (DGEMM) routines.
 func (g *GEMM) Run(transA, transB Transpose, alpha float64, a, b *Matrix[float64], beta float64, c *Matrix[float64]) error {
 	return gemmimpl.EngineRun(g.eng, transA, transB, alpha, a, b, beta, c)
 }
 
+// RunCtx is the context-honoring variant of Run (see the package-level
+// RunCtx).
+func (g *GEMM) RunCtx(ctx context.Context, transA, transB Transpose, alpha float64, a, b *Matrix[float64], beta float64, c *Matrix[float64]) error {
+	return gemmimpl.EngineRunCtx(ctx, g.eng, transA, transB, alpha, a, b, beta, c)
+}
+
 // RunSingle is the float32 (SGEMM) counterpart of Run.
 func (g *GEMM) RunSingle(transA, transB Transpose, alpha float32, a, b *Matrix[float32], beta float32, c *Matrix[float32]) error {
 	return gemmimpl.EngineRun(g.eng, transA, transB, alpha, a, b, beta, c)
+}
+
+// RunSingleCtx is the context-honoring variant of RunSingle.
+func (g *GEMM) RunSingleCtx(ctx context.Context, transA, transB Transpose, alpha float32, a, b *Matrix[float32], beta float32, c *Matrix[float32]) error {
+	return gemmimpl.EngineRunCtx(ctx, g.eng, transA, transB, alpha, a, b, beta, c)
 }
 
 // GEMMCall is one multiplication of a batch:
@@ -80,6 +102,13 @@ type GEMMCall[T Scalar] = gemmimpl.Call[T]
 // (e.g. one weight matrix against a stream of inputs).
 func RunBatch[T Scalar](g *GEMM, calls []GEMMCall[T]) error {
 	return gemmimpl.RunBatch(g.eng, calls)
+}
+
+// RunBatchCtx is RunBatch honoring a context: the batch stops with the
+// context's error at the first call (or phase within a call) that finds
+// it expired.
+func RunBatchCtx[T Scalar](ctx context.Context, g *GEMM, calls []GEMMCall[T]) error {
+	return gemmimpl.RunBatchCtx(ctx, g.eng, calls)
 }
 
 // ModelGFlops returns the modeled performance of the full routine

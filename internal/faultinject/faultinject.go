@@ -48,6 +48,8 @@ func (c Class) String() string {
 		return "panic"
 	case Wrong:
 		return "wrong"
+	case Death:
+		return "death"
 	default:
 		return "none"
 	}

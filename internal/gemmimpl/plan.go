@@ -11,6 +11,7 @@
 package gemmimpl
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -342,12 +343,29 @@ func (pl *Plan[T]) pack(pk *kernels.Pack[T], src *matrix.Matrix[T], transpose bo
 	return pl.q.RunLockstep(pk, pk.NDRange())
 }
 
+// ctxErr wraps a context failure so callers can both errors.Is against
+// context.DeadlineExceeded/Canceled and see which phase was abandoned.
+func ctxErr(err error, phase string) error {
+	return fmt.Errorf("gemmimpl: call abandoned before %s: %w", phase, err)
+}
+
 // Run computes C ← alpha·op(A)·op(B) + beta·C on the plan's device
 // state. The problem must pad to the plan's shape. When A or B is
 // bit-identical to the operand packed by the previous call (same
 // geometry, order and contents), its upload and pack are skipped; when
 // beta == 0, C is neither read nor packed, per BLAS semantics.
 func (pl *Plan[T]) Run(ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T]) error {
+	return pl.RunCtx(context.Background(), ta, tb, alpha, a, b, beta, c)
+}
+
+// RunCtx is Run with cancellation: the context is checked before every
+// phase (pack A/B/C, kernel, copy-out), so a cancelled or deadline-
+// expired call returns within one phase of the signal instead of
+// finishing the whole tile. A partially-executed call leaves the plan
+// consistent — the next Run simply re-packs whatever the abandoned call
+// invalidated. The returned error wraps ctx.Err(), so errors.Is against
+// context.DeadlineExceeded/context.Canceled works.
+func (pl *Plan[T]) RunCtx(ctx context.Context, ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T]) error {
 	m, n, k, err := gemmDims(ta, tb, a, b, c)
 	if err != nil {
 		return err
@@ -366,6 +384,9 @@ func (pl *Plan[T]) Run(ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], b
 	callStart := time.Now()
 	esz := int64(pl.im.Params.Precision.Size())
 
+	if err := ctx.Err(); err != nil {
+		return ctxErr(err, "pack A")
+	}
 	keyA := sourceKey(a, ta == blas.NoTrans)
 	if pl.haveA && keyA == pl.lastA {
 		pl.stats.ReusedA++
@@ -381,6 +402,9 @@ func (pl *Plan[T]) Run(ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], b
 		pl.lastA, pl.haveA = keyA, true
 		pl.stats.PackA++
 	}
+	if err := ctx.Err(); err != nil {
+		return ctxErr(err, "pack B")
+	}
 	keyB := sourceKey(b, tb == blas.Trans)
 	if pl.haveB && keyB == pl.lastB {
 		pl.stats.ReusedB++
@@ -395,6 +419,9 @@ func (pl *Plan[T]) Run(ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], b
 		}
 		pl.lastB, pl.haveB = keyB, true
 		pl.stats.PackB++
+	}
+	if err := ctx.Err(); err != nil {
+		return ctxErr(err, "pack C")
 	}
 	if beta == 0 {
 		// BLAS: C must not be read when beta == 0. The GEMM kernel
@@ -412,12 +439,18 @@ func (pl *Plan[T]) Run(ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], b
 		pl.stats.PackC++
 	}
 
+	if err := ctx.Err(); err != nil {
+		return ctxErr(err, "kernel")
+	}
 	pl.kern.SetScalars(alpha, beta)
 	err = pl.phase("gemm.kernel", pl.o.kernelSec, 0, int64(blas.FlopCount(m, n, k)), func() error {
 		return pl.q.RunLockstep(pl.kern, pl.kern.NDRange())
 	})
 	if err != nil {
 		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return ctxErr(err, "copy out")
 	}
 	err = pl.phase("gemm.copy.out", pl.o.copySec, int64(len(pl.cp))*esz, 0, func() error {
 		if err := readBuf(pl.q, pl.bufC, pl.cp); err != nil {
@@ -513,6 +546,11 @@ func (pc *PlanCache[T]) Stats() PlanStats {
 // Run executes one GEMM through the cache: the plan for the padded
 // shape is built on first use and reused afterwards.
 func (pc *PlanCache[T]) Run(ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T]) error {
+	return pc.RunCtx(context.Background(), ta, tb, alpha, a, b, beta, c)
+}
+
+// RunCtx is Run with cancellation, forwarded to the plan's RunCtx.
+func (pc *PlanCache[T]) RunCtx(ctx context.Context, ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T]) error {
 	m, n, k, err := gemmDims(ta, tb, a, b, c)
 	if err != nil {
 		return err
@@ -540,7 +578,7 @@ func (pc *PlanCache[T]) Run(ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[
 	pc.evictLocked(key)
 	pc.mu.Unlock()
 
-	err = e.plan.Run(ta, tb, alpha, a, b, beta, c)
+	err = e.plan.RunCtx(ctx, ta, tb, alpha, a, b, beta, c)
 
 	pc.mu.Lock()
 	e.refs--
@@ -625,13 +663,20 @@ func (e *Engine) Cache64() *PlanCache[float64] { return e.c64 }
 
 // EngineRun executes one GEMM through the engine's plan cache for T.
 func EngineRun[T matrix.Scalar](e *Engine, ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T]) error {
+	return EngineRunCtx(context.Background(), e, ta, tb, alpha, a, b, beta, c)
+}
+
+// EngineRunCtx is EngineRun with cancellation: the serve path's
+// deadline-aware entry point into the engine. The context is checked at
+// every phase boundary of the underlying plan.
+func EngineRunCtx[T matrix.Scalar](ctx context.Context, e *Engine, ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T]) error {
 	switch any(alpha).(type) {
 	case float64:
-		return e.c64.Run(ta, tb, any(alpha).(float64),
+		return e.c64.RunCtx(ctx, ta, tb, any(alpha).(float64),
 			any(a).(*matrix.Matrix[float64]), any(b).(*matrix.Matrix[float64]),
 			any(beta).(float64), any(c).(*matrix.Matrix[float64]))
 	default:
-		return e.c32.Run(ta, tb, any(alpha).(float32),
+		return e.c32.RunCtx(ctx, ta, tb, any(alpha).(float32),
 			any(a).(*matrix.Matrix[float32]), any(b).(*matrix.Matrix[float32]),
 			any(beta).(float32), any(c).(*matrix.Matrix[float32]))
 	}
@@ -652,8 +697,15 @@ type Call[T matrix.Scalar] struct {
 // upload and pack — the steady-state serving path for repeated GEMM
 // traffic.
 func RunBatch[T matrix.Scalar](e *Engine, calls []Call[T]) error {
+	return RunBatchCtx(context.Background(), e, calls)
+}
+
+// RunBatchCtx is RunBatch with cancellation: a cancelled context stops
+// the batch between calls (and within the current call at its next
+// phase boundary), reporting how far it got.
+func RunBatchCtx[T matrix.Scalar](ctx context.Context, e *Engine, calls []Call[T]) error {
 	for i, cl := range calls {
-		if err := EngineRun(e, cl.TransA, cl.TransB, cl.Alpha, cl.A, cl.B, cl.Beta, cl.C); err != nil {
+		if err := EngineRunCtx(ctx, e, cl.TransA, cl.TransB, cl.Alpha, cl.A, cl.B, cl.Beta, cl.C); err != nil {
 			return fmt.Errorf("batch call %d: %w", i, err)
 		}
 	}

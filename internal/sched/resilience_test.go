@@ -1,0 +1,432 @@
+// Serve-path resilience tests: the chaos gate (mixed injected faults,
+// mid-run deaths, probed recoveries), deadline behavior with the
+// goroutine-leak guard, transient retry with backoff, the degradation
+// ladder, and the health state machine's transitions.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"oclgemm/internal/blas"
+	"oclgemm/internal/core"
+	"oclgemm/internal/faultinject"
+	"oclgemm/internal/obs"
+)
+
+// TestChaosGateTwentySeeds is the acceptance gate: with ≥30% injected
+// mixed faults (transient + timeout) plus a scripted mid-run death and
+// later recovery window on one member, RunCtx must — for each of 20
+// seeds — either produce C bit-identical to the single-device reference
+// or return a typed error before the deadline. With the BLAS fallback
+// rung enabled and float64 elements, every non-deadline outcome is
+// bit-identical: zero hangs, zero silent wrong results.
+func TestChaosGateTwentySeeds(t *testing.T) {
+	const m, n, k = 96, 96, 48
+	const alpha, beta = 1.25, -0.5
+	a := randMat[float64](m, k, 101)
+	b := randMat[float64](k, n, 102)
+	c0 := randMat[float64](m, n, 103)
+	want := c0.Clone()
+	singleDeviceRef(t, blas.NoTrans, blas.NoTrans, alpha, a, b, beta, want)
+
+	recoveries := 0
+	for seed := int64(1); seed <= 20; seed++ {
+		si, err := faultinject.NewServe(faultinject.ServeConfig{
+			Seed:          seed,
+			TransientRate: 0.20,
+			TimeoutRate:   0.12, // 32% total injected fault rate
+			DeadAt:        map[string]int{"cayman": 5},
+			ReviveAt:      map[string]int{"cayman": 10},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := testPool(t, Options{
+			TileM: 32, TileN: 32,
+			Fallback:   true,
+			LaunchHook: si.Hook,
+		})
+		for run := 0; run < 4; run++ {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			c := c0.Clone()
+			err := RunCtx(ctx, p, blas.NoTrans, blas.NoTrans, alpha, a, b, beta, c)
+			cancel()
+			switch {
+			case err == nil:
+				requireBitIdentical(t, c, want, fmt.Sprintf("seed %d run %d", seed, run))
+			case errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, ErrNoDevices) ||
+				errors.Is(err, core.ErrTransient) || errors.Is(err, core.ErrTimeout):
+				// Typed failure: acceptable, but must not have corrupted C
+				// relative to a clean snapshot boundary — a failed ladder
+				// leaves either the restored original or committed correct
+				// tiles, never garbage from a half-written straggler. The
+				// fallback rung makes this branch unreachable in practice.
+			default:
+				t.Fatalf("seed %d run %d: untyped error: %v", seed, run, err)
+			}
+		}
+		for _, h := range p.Health() {
+			recoveries += h.Recoveries
+		}
+		if counts := si.Counts(); counts[faultinject.Transient]+counts[faultinject.Hang]+counts[faultinject.Death] == 0 {
+			t.Errorf("seed %d: injector reports no faults injected", seed)
+		}
+	}
+	// The scripted death + revival window must produce probed
+	// re-admissions somewhere across the seeds.
+	if recoveries == 0 {
+		t.Errorf("no member recovered across 20 chaos seeds; probe re-admission never exercised")
+	}
+}
+
+// TestChaosKillReviveRerun kills a member mid-run, verifies the run
+// survives bit-identically, then revives the member and verifies it is
+// probed back in, serves tiles again, and the pool's Alive count is
+// restored.
+func TestChaosKillReviveRerun(t *testing.T) {
+	const victim = "cayman"
+	var launches int64
+	var once sync.Once
+	died := make(chan struct{})
+	// Scheduling-independent mid-run death (same pattern as
+	// TestPoolSurvivesDeviceDeathMidRun): every other member's first
+	// launch blocks until the victim has died, so the victim is
+	// guaranteed to execute — and die — while tiles are still in
+	// flight, whatever the goroutine interleaving.
+	p := testPool(t, Options{
+		TileM: 32, TileN: 32, Workers: 1,
+		LaunchHook: func(deviceID, kernelName string) error {
+			if deviceID != victim {
+				<-died
+				return nil
+			}
+			if atomic.AddInt64(&launches, 1) == 4 {
+				once.Do(func() { close(died) })
+				return fmt.Errorf("%w: %s", ErrDeviceDead, victim)
+			}
+			return nil
+		},
+	})
+	const m, n, k = 160, 160, 48
+	a := randMat[float64](m, k, 61)
+	b := randMat[float64](k, n, 62)
+	c0 := randMat[float64](m, n, 63)
+	want := c0.Clone()
+	singleDeviceRef(t, blas.NoTrans, blas.NoTrans, 1.5, a, b, 0.5, want)
+
+	c := c0.Clone()
+	if err := Run(p, blas.NoTrans, blas.NoTrans, 1.5, a, b, 0.5, c); err != nil {
+		t.Fatalf("run with mid-run kill: %v", err)
+	}
+	requireBitIdentical(t, c, want, "with mid-run kill")
+	if p.Alive() != 3 {
+		t.Fatalf("alive = %d, want 3 after %s died mid-run", p.Alive(), victim)
+	}
+
+	// An ErrDeviceDead launch quarantines like a kill; pin it down so
+	// the auto-probe cannot race the explicit Revive below.
+	if !p.Kill(victim) {
+		t.Fatalf("Kill(%s) matched no member", victim)
+	}
+	if !p.Revive(victim) {
+		t.Fatalf("Revive(%s) failed: probe did not verify", victim)
+	}
+	if p.Alive() != 4 {
+		t.Fatalf("alive = %d, want 4 after revive", p.Alive())
+	}
+	for _, h := range p.Health() {
+		if h.Device == victim {
+			if h.State != Probation {
+				t.Errorf("%s state = %v after revive, want probation", victim, h.State)
+			}
+			if h.Recoveries != 1 {
+				t.Errorf("%s recoveries = %d, want 1", victim, h.Recoveries)
+			}
+		}
+	}
+
+	c = c0.Clone()
+	if err := Run(p, blas.NoTrans, blas.NoTrans, 1.5, a, b, 0.5, c); err != nil {
+		t.Fatalf("re-run after revive: %v", err)
+	}
+	requireBitIdentical(t, c, want, "re-run after revive")
+	for _, st := range p.Stats() {
+		if st.Device == victim && st.Dead {
+			t.Errorf("%s still marked dead after revive + clean run", victim)
+		}
+	}
+}
+
+// TestResilienceDeadlineReturnsWithinBudget starves a run with slow
+// launches and a short deadline: RunCtx must return the typed deadline
+// error promptly, leak no worker goroutines, and never let a straggling
+// tile write C after the call returned.
+func TestResilienceDeadlineReturnsWithinBudget(t *testing.T) {
+	p := testPool(t, Options{
+		TileM: 32, TileN: 32,
+		LaunchHook: func(deviceID, kernelName string) error {
+			time.Sleep(20 * time.Millisecond)
+			return nil
+		},
+	})
+	const m, n, k = 192, 192, 48
+	a := randMat[float64](m, k, 71)
+	b := randMat[float64](k, n, 72)
+	c := randMat[float64](m, n, 73)
+
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := RunCtx(ctx, p, blas.NoTrans, blas.NoTrans, 1.0, a, b, 0.0, c)
+	elapsed := time.Since(start)
+
+	if err == nil {
+		t.Fatal("RunCtx finished under the deadline; slow-launch hook ineffective")
+	}
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded in chain", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded in chain", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("RunCtx took %v to honor a 150ms deadline", elapsed)
+	}
+
+	// No straggler may touch C after the call returned: staged commits
+	// are discarded once the run is abandoned.
+	snap := c.Clone()
+	time.Sleep(300 * time.Millisecond)
+	requireBitIdentical(t, c, snap, "C mutated after deadline return")
+
+	// Goroutine-leak guard: the detached workers must wind down once
+	// their in-flight launches finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines = %d, baseline %d: workers leaked after deadline return",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestResilienceTransientBackoff: a transient launch fault is retried
+// in place on the same member — with a recorded backoff — instead of
+// requeueing, and a recovered member ends the run healthy.
+func TestResilienceTransientBackoff(t *testing.T) {
+	reg := obs.NewRegistry()
+	var fails int64
+	dev := fourDevices(t)[:1]
+	p := testPool(t, Options{
+		Devices: dev,
+		TileM:   96, TileN: 96, // one tile: the failures hit one attempt chain
+		Obs: reg,
+		LaunchHook: func(deviceID, kernelName string) error {
+			if atomic.AddInt64(&fails, 1) <= 2 {
+				return fmt.Errorf("%w: injected flake", core.ErrTransient)
+			}
+			return nil
+		},
+	})
+	const m, n, k = 96, 96, 32
+	a := randMat[float64](m, k, 81)
+	b := randMat[float64](k, n, 82)
+	c := randMat[float64](m, n, 83)
+	want := c.Clone()
+	singleDeviceRef(t, blas.NoTrans, blas.NoTrans, 1.0, a, b, 0.0, want)
+
+	if err := Run(p, blas.NoTrans, blas.NoTrans, 1.0, a, b, 0.0, c); err != nil {
+		t.Fatalf("run with transient flakes: %v", err)
+	}
+	requireBitIdentical(t, c, want, "after transient retries")
+
+	s := reg.Snapshot()
+	if got := s.Counters["sched.retry.backoffs"]; got != 2 {
+		t.Errorf("sched.retry.backoffs = %d, want 2", got)
+	}
+	h := p.Health()[0]
+	if h.State != Healthy {
+		t.Errorf("member state = %v after recovered flakes, want healthy", h.State)
+	}
+	if st := p.Stats()[0]; st.Retries != 2 || st.Dead {
+		t.Errorf("stats = %+v, want 2 retries and not dead", st)
+	}
+}
+
+// TestResilienceDegradeSingleDevice: when the tiled pool run exhausts a
+// tile's attempts, the ladder retries the whole call on the healthiest
+// member and succeeds bit-identically.
+func TestResilienceDegradeSingleDevice(t *testing.T) {
+	reg := obs.NewRegistry()
+	var launches int64
+	dev := fourDevices(t)[:1]
+	p := testPool(t, Options{
+		Devices: dev,
+		TileM:   32, TileN: 32,
+		MaxAttempts: 1,
+		Obs:         reg,
+		LaunchHook: func(deviceID, kernelName string) error {
+			if atomic.AddInt64(&launches, 1) == 1 {
+				return fmt.Errorf("%w: first launch refused", core.ErrTimeout)
+			}
+			return nil
+		},
+	})
+	const m, n, k = 96, 96, 32
+	a := randMat[float64](m, k, 91)
+	b := randMat[float64](k, n, 92)
+	c := randMat[float64](m, n, 93)
+	want := c.Clone()
+	singleDeviceRef(t, blas.NoTrans, blas.NoTrans, 1.25, a, b, -0.5, want)
+
+	if err := Run(p, blas.NoTrans, blas.NoTrans, 1.25, a, b, -0.5, c); err != nil {
+		t.Fatalf("run with degraded ladder: %v", err)
+	}
+	requireBitIdentical(t, c, want, "single-device rung")
+	if got := reg.Snapshot().Counters["sched.degraded.single"]; got != 1 {
+		t.Errorf("sched.degraded.single = %d, want 1", got)
+	}
+}
+
+// TestResilienceDegradeBlasFallback: with every launch refused, the
+// opt-in BLAS rung still returns the correct result (bit-exact for
+// float64); without the opt-in, the call returns the typed failure.
+func TestResilienceDegradeBlasFallback(t *testing.T) {
+	refuse := func(deviceID, kernelName string) error {
+		return fmt.Errorf("%w: launches disabled", core.ErrTimeout)
+	}
+	const m, n, k = 96, 96, 32
+	a := randMat[float64](m, k, 94)
+	b := randMat[float64](k, n, 95)
+	c0 := randMat[float64](m, n, 96)
+	want := c0.Clone()
+	blas.GEMM(blas.NoTrans, blas.NoTrans, 1.25, a, b, -0.5, want)
+
+	reg := obs.NewRegistry()
+	p := testPool(t, Options{
+		Devices: fourDevices(t)[:1], TileM: 32, TileN: 32,
+		MaxAttempts: 1, Fallback: true, Obs: reg,
+		LaunchHook: refuse,
+	})
+	c := c0.Clone()
+	if err := Run(p, blas.NoTrans, blas.NoTrans, 1.25, a, b, -0.5, c); err != nil {
+		t.Fatalf("run with BLAS fallback: %v", err)
+	}
+	requireBitIdentical(t, c, want, "BLAS rung")
+	if got := reg.Snapshot().Counters["sched.degraded.blas"]; got != 1 {
+		t.Errorf("sched.degraded.blas = %d, want 1", got)
+	}
+
+	p2 := testPool(t, Options{
+		Devices: fourDevices(t)[:1], TileM: 32, TileN: 32,
+		MaxAttempts: 1,
+		LaunchHook:  refuse,
+	})
+	c = c0.Clone()
+	err := Run(p2, blas.NoTrans, blas.NoTrans, 1.25, a, b, -0.5, c)
+	if err == nil {
+		t.Fatal("run without fallback succeeded with every launch refused")
+	}
+	if !errors.Is(err, core.ErrTimeout) {
+		t.Errorf("err = %v, want core.ErrTimeout in chain", err)
+	}
+	requireBitIdentical(t, c, c0, "C must be restored when the ladder fails")
+}
+
+// TestResilienceNoDevicesNamesDead: the all-dead error names the dead
+// members' device IDs in its chain.
+func TestResilienceNoDevicesNamesDead(t *testing.T) {
+	p := testPool(t, Options{})
+	for _, d := range p.Devices() {
+		p.Kill(d.ID)
+	}
+	a := randMat[float64](32, 32, 1)
+	b := randMat[float64](32, 32, 2)
+	c := randMat[float64](32, 32, 3)
+	err := Run(p, blas.NoTrans, blas.NoTrans, 1.0, a, b, 0.0, c)
+	if !errors.Is(err, ErrNoDevices) {
+		t.Fatalf("err = %v, want ErrNoDevices", err)
+	}
+	for _, d := range p.Devices() {
+		if !strings.Contains(err.Error(), d.ID) {
+			t.Errorf("error %q does not name dead member %s", err, d.ID)
+		}
+	}
+}
+
+// TestResilienceAutoProbeRecovery: a member quarantined by consecutive
+// failures (not killed) is probed back in on a later Run once its
+// cooldown elapses and the fault clears, then graduates from probation
+// to healthy after enough clean tiles.
+func TestResilienceAutoProbeRecovery(t *testing.T) {
+	const victim = "tahiti"
+	var failing atomic.Bool
+	failing.Store(true)
+	p := testPool(t, Options{
+		TileM: 32, TileN: 32,
+		LaunchHook: func(deviceID, kernelName string) error {
+			if deviceID == victim && failing.Load() {
+				return errors.New("injected: persistent hard fault")
+			}
+			return nil
+		},
+	})
+	const m, n, k = 160, 160, 48
+	a := randMat[float64](m, k, 31)
+	b := randMat[float64](k, n, 32)
+	run := func(label string) {
+		t.Helper()
+		c := randMat[float64](m, n, 33)
+		if err := Run(p, blas.NoTrans, blas.NoTrans, 1.0, a, b, 0.0, c); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+	}
+
+	run("run 1 (faulting)")
+	if p.Alive() != 3 {
+		t.Fatalf("alive = %d, want 3 after %s drained", p.Alive(), victim)
+	}
+	healthOf := func(id string) MemberHealth {
+		for _, h := range p.Health() {
+			if h.Device == id {
+				return h
+			}
+		}
+		t.Fatalf("no health snapshot for %s", id)
+		return MemberHealth{}
+	}
+	if h := healthOf(victim); h.State != Quarantined || h.Killed {
+		t.Fatalf("%s health = %+v, want quarantined and not killed", victim, h)
+	}
+
+	// Fault cleared: the next Run's admission probe re-admits it.
+	failing.Store(false)
+	run("run 2 (recovered)")
+	if p.Alive() != 4 {
+		t.Fatalf("alive = %d, want 4 after auto-probe", p.Alive())
+	}
+	h := healthOf(victim)
+	if h.Recoveries != 1 || h.Probes < 1 {
+		t.Errorf("%s health = %+v, want 1 recovery from >= 1 probe", victim, h)
+	}
+	if h.State != Healthy && h.State != Probation {
+		t.Errorf("%s state = %v, want healthy or probation", victim, h.State)
+	}
+	run("run 3 (graduation)")
+	if got := healthOf(victim).State; got != Healthy {
+		t.Errorf("%s state = %v after two clean runs, want healthy", victim, got)
+	}
+}

@@ -1,18 +1,27 @@
 // Run-time execution: per-member tile queues, work stealing, fault
 // handling. Each live member gets one worker goroutine that drains its
 // own queue head-first and steals from the largest other queue
-// tail-first when idle; a failed tile is requeued onto the least-loaded
-// surviving member, and a member that keeps failing is declared dead
-// and its queue picked clean by the others.
+// tail-first when idle. A transiently-failed tile is retried on the
+// same member after a jittered exponential backoff; other failures
+// requeue it onto the least-loaded surviving member, and a member that
+// keeps failing is quarantined and its queue picked clean by the
+// others. RunCtx adds a deadline watchdog (detached return: stragglers
+// stage their C writes and discard them once the run is abandoned) and
+// the degradation ladder — surviving members → single healthiest
+// member → opt-in pure-Go BLAS.
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"strings"
 	"sync"
 	"time"
 
 	"oclgemm/internal/blas"
+	"oclgemm/internal/core"
 	"oclgemm/internal/gemmimpl"
 	"oclgemm/internal/matrix"
 )
@@ -27,15 +36,79 @@ type runState struct {
 	pending int   // tiles not yet completed (queued or in flight)
 	fatal   error // set once; stops every worker
 	lastErr error // most recent tile failure (context for the fatal)
+
+	// staged forces every C write through a private tile copy committed
+	// under mu only while the run is still owned (fatal == nil). Set for
+	// cancellable contexts: RunCtx may return on deadline while a tile
+	// is in flight, and the caller owns C from that moment.
+	staged bool
+}
+
+// abort raises a fatal error (first writer wins) and wakes every
+// worker.
+func (rs *runState) abort(err error) {
+	rs.mu.Lock()
+	if rs.fatal == nil {
+		rs.fatal = err
+	}
+	rs.cond.Broadcast()
+	rs.mu.Unlock()
+}
+
+// aborted reports whether the run already failed.
+func (rs *runState) aborted() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.fatal != nil
+}
+
+// noteErr records the most recent tile failure for error context.
+func (rs *runState) noteErr(err error) {
+	rs.mu.Lock()
+	rs.lastErr = err
+	rs.mu.Unlock()
+}
+
+// commit applies a staged tile write unless the run has been abandoned:
+// after RunCtx returns, the caller owns C again, so stragglers must not
+// touch it. Direct (unstaged) writes pass fn == nil.
+func (rs *runState) commit(fn func()) {
+	if fn == nil {
+		return
+	}
+	if !rs.staged {
+		fn()
+		return
+	}
+	rs.mu.Lock()
+	if rs.fatal == nil {
+		fn()
+	}
+	rs.mu.Unlock()
 }
 
 // Run executes C ← alpha·op(A)·op(B) + beta·C across the pool's live
-// members. The result is bit-identical to a single-device run: C is
-// partitioned only over rows and columns, never over K, so every
-// element keeps its accumulation order. Run returns after the last tile
-// completes, or with an error when a tile exhausts its attempts or the
-// whole pool dies mid-call.
+// members with no deadline. See RunCtx.
 func Run[T matrix.Scalar](p *Pool, ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T]) error {
+	return RunCtx(context.Background(), p, ta, tb, alpha, a, b, beta, c)
+}
+
+// RunCtx executes C ← alpha·op(A)·op(B) + beta·C across the pool's live
+// members, honoring the context's deadline and cancellation. The result
+// is bit-identical to a single-device run: C is partitioned only over
+// rows and columns, never over K, so every element keeps its
+// accumulation order.
+//
+// The call returns a correct result or a typed error, never a hang:
+// quarantined members due for a probe are re-admitted first; a failed
+// pool run degrades to the single healthiest member, then (when
+// Options.Fallback is set) to the pure-Go BLAS reference. On deadline
+// it returns an ErrDeadlineExceeded-wrapped error without waiting for
+// straggling launches — their C writes are staged and discarded.
+func RunCtx[T matrix.Scalar](ctx context.Context, p *Pool, ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T]) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m, n, k, err := gemmimpl.Dims(ta, tb, a, b, c)
 	if err != nil {
 		return err
@@ -46,11 +119,125 @@ func Run[T matrix.Scalar](p *Pool, ta, tb blas.Transpose, alpha T, a, b *matrix.
 	if k <= 0 {
 		return fmt.Errorf("sched: non-positive k %d", k)
 	}
-	live := p.alive()
-	if len(live) == 0 {
-		return ErrNoDevices
+	if err := ctx.Err(); err != nil {
+		return p.finish(p.ctxError(err))
 	}
+	p.admitQuarantined(ctx)
 	prec := precisionOf[T]()
+
+	// Ladder restarts need the original C: completed tiles of a failed
+	// rung have already consumed the beta·C addend. beta == 0 rungs
+	// overwrite C fully, so no snapshot is needed.
+	var snap *matrix.Matrix[T]
+	if beta != 0 {
+		snap = c.Clone()
+	}
+	restore := func() {
+		if snap == nil {
+			return
+		}
+		copy(c.Data, snap.Data)
+	}
+
+	var poolErr error
+	if live := p.alive(); len(live) > 0 {
+		poolErr = runTiles(ctx, p, live, prec, ta, tb, alpha, a, b, beta, c, m, n, k)
+		if poolErr == nil {
+			return nil
+		}
+	} else {
+		poolErr = p.noDevicesError(0, nil)
+	}
+	if errors.Is(poolErr, ErrDeadlineExceeded) || ctx.Err() != nil {
+		return p.finish(poolErr)
+	}
+
+	// Rung 2: the single healthiest member retries the whole call
+	// (bit-identical: same kernels, K unsplit).
+	if mb := p.healthiest(prec, m, n, k); mb != nil {
+		p.o.degradeSingle.Inc()
+		sp := mb.tr.Start("sched.degrade")
+		sp.SetAttr("rung", "single").SetAttr("device", mb.dev.ID)
+		restore()
+		err := gemmimpl.EngineRunCtx(ctx, engineFor[T](mb), ta, tb, alpha, a, b, beta, c)
+		if err == nil {
+			sp.End()
+			return nil
+		}
+		sp.SetAttr("error", err.Error()).End()
+		p.noteFailure(mb, err)
+		poolErr = fmt.Errorf("%w; single-device retry on %s: %w", poolErr, mb.dev.ID, err)
+		if err := ctx.Err(); err != nil {
+			restore()
+			return p.finish(p.ctxError(err))
+		}
+	}
+
+	// Rung 3 (opt-in): the pure-Go reference — in-order accumulation,
+	// same result up to float32 rounding (bit-exact for float64).
+	if p.opts.Fallback {
+		p.o.degradeBlas.Inc()
+		sp := p.opts.Trace.Start("sched.degrade")
+		sp.SetAttr("rung", "blas")
+		restore()
+		blas.GEMM(ta, tb, alpha, a, b, beta, c)
+		sp.End()
+		return nil
+	}
+	// Ladder exhausted: hand back the original C (beta != 0) rather
+	// than a torn mix of committed tiles and untouched regions. The
+	// workers have joined on every non-deadline path, so no straggler
+	// races this write. (On a deadline return above, C keeps whatever
+	// tiles committed before the cutoff — stragglers stage and discard.)
+	restore()
+	return p.finish(poolErr)
+}
+
+// ctxError wraps a context error in the pool's typed sentinel.
+func (p *Pool) ctxError(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
+	}
+	return fmt.Errorf("sched: run canceled: %w", err)
+}
+
+// finish counts a deadline outcome exactly once per call on the way
+// out.
+func (p *Pool) finish(err error) error {
+	if errors.Is(err, ErrDeadlineExceeded) {
+		p.o.deadlines.Inc()
+	}
+	return err
+}
+
+// noDevicesError builds the all-members-dead error, naming the dead
+// devices so the caller can see which members drained away.
+func (p *Pool) noDevicesError(pending int, lastErr error) error {
+	err := error(ErrNoDevices)
+	var dead []string
+	for _, mb := range p.members {
+		if mb.isDead() {
+			dead = append(dead, mb.dev.ID)
+		}
+	}
+	if len(dead) > 0 {
+		err = fmt.Errorf("%w (dead members: %s)", err, strings.Join(dead, ", "))
+	}
+	if pending > 0 {
+		err = fmt.Errorf("%w: %d tiles pending", err, pending)
+	}
+	if lastErr != nil {
+		err = fmt.Errorf("%w (last failure: %w)", err, lastErr)
+	}
+	return err
+}
+
+// runTiles partitions the problem and drives the worker pool once,
+// returning when every tile committed, a fatal error was raised, or the
+// context expired. On expiry it returns immediately (detached return):
+// a reaper goroutine joins the workers, whose staged writes are
+// discarded, so no goroutine leaks and C is never touched after return.
+func runTiles[T matrix.Scalar](ctx context.Context, p *Pool, live []*member, prec matrix.Precision, ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T], m, n, k int) error {
 	tm, tn := p.tileDims(m, n, len(live))
 	tiles := tilesFor(m, n, tm, tn)
 
@@ -58,6 +245,7 @@ func Run[T matrix.Scalar](p *Pool, ta, tb blas.Transpose, alpha T, a, b *matrix.
 		live:    live,
 		queues:  assign(tiles, live, prec, k),
 		pending: len(tiles),
+		staged:  ctx.Done() != nil,
 	}
 	rs.cond = sync.NewCond(&rs.mu)
 
@@ -67,63 +255,137 @@ func Run[T matrix.Scalar](p *Pool, ta, tb blas.Transpose, alpha T, a, b *matrix.
 		wg.Add(1)
 		go func(me int, mb *member) {
 			defer wg.Done()
-			worker(p, rs, me, mb, ta, tb, alpha, a, b, beta, c, k)
+			worker(ctx, p, rs, me, mb, ta, tb, alpha, a, b, beta, c, k)
 		}(i, mb)
 	}
-	wg.Wait()
-	p.o.runs.Inc()
-	p.o.runSec.Observe(time.Since(runStart).Seconds())
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		p.o.runs.Inc()
+		p.o.runSec.Observe(time.Since(runStart).Seconds())
+		close(done)
+	}()
 
+	select {
+	case <-done:
+	case <-ctx.Done():
+		rs.abort(p.ctxError(ctx.Err()))
+		// Workers exit at their next queue visit or staged commit; the
+		// reaper above settles the run accounting.
+	}
+
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
 	if rs.fatal != nil {
 		return rs.fatal
 	}
 	if rs.pending > 0 {
 		// Every worker exited (all members dead) with tiles abandoned.
-		err := fmt.Errorf("%w: %d tiles pending", ErrNoDevices, rs.pending)
-		if rs.lastErr != nil {
-			err = fmt.Errorf("%w (last failure: %v)", err, rs.lastErr)
-		}
-		return err
+		return p.noDevicesError(rs.pending, rs.lastErr)
 	}
 	return nil
 }
 
 // worker drains tiles for one member until the run completes, a fatal
-// error is raised, or the member dies.
-func worker[T matrix.Scalar](p *Pool, rs *runState, me int, mb *member, ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T], k int) {
+// error is raised, or the member is quarantined. A transient failure is
+// retried here on the same member after a backoff; anything else hands
+// the tile to tileFailed for requeueing.
+func worker[T matrix.Scalar](ctx context.Context, p *Pool, rs *runState, me int, mb *member, ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T], k int) {
 	prec := precisionOf[T]()
 	for {
 		t, stolen, ok := rs.next(me, mb)
 		if !ok {
 			return
 		}
-		sp := mb.tr.Start("sched.tile")
-		sp.SetFlops(int64(blas.FlopCount(t.th, t.tw, k))).
-			SetAttr("device", mb.dev.ID).
-			SetAttr("tile", fmt.Sprintf("%d,%d %dx%d", t.i0, t.j0, t.th, t.tw))
-		if stolen {
-			sp.SetAttr("stolen", "true")
-		}
-		start := time.Now()
-		err := execTile(mb, t, ta, tb, alpha, a, b, beta, c, k)
-		busy := time.Since(start).Seconds()
-		if err != nil {
-			sp.SetAttr("error", err.Error()).End()
-			p.tileFailed(rs, me, mb, t, err)
-			if mb.isDead() {
-				return
+	attempts:
+		for {
+			sp := mb.tr.Start("sched.tile")
+			sp.SetFlops(int64(blas.FlopCount(t.th, t.tw, k))).
+				SetAttr("device", mb.dev.ID).
+				SetAttr("tile", fmt.Sprintf("%d,%d %dx%d", t.i0, t.j0, t.th, t.tw))
+			if stolen {
+				sp.SetAttr("stolen", "true")
 			}
-			continue
+			start := time.Now()
+			commit, err := execTile(ctx, rs, mb, t, ta, tb, alpha, a, b, beta, c, k)
+			busy := time.Since(start).Seconds()
+			if err == nil {
+				sp.End()
+				rs.commit(commit)
+				p.tileDone(rs, mb, prec, t, stolen, busy, k, beta == 0)
+				break attempts
+			}
+			sp.SetAttr("error", err.Error()).End()
+			t.attempts++
+			rs.noteErr(err)
+			quarantined := p.noteFailure(mb, err)
+			if !quarantined && t.attempts < p.maxAttempts &&
+				errors.Is(err, core.ErrTransient) && !rs.aborted() {
+				if !p.backoff(ctx, mb.dev.ID, t) {
+					// Context expired mid-backoff; the watchdog (or this
+					// abort) surfaces the typed error.
+					rs.abort(p.ctxError(ctx.Err()))
+					return
+				}
+				continue attempts
+			}
+			p.tileFailed(rs, me, mb, t, err)
+			break attempts
 		}
-		sp.End()
-		p.tileDone(rs, mb, prec, t, stolen, busy, k, beta == 0)
+		if mb.isDead() || rs.aborted() {
+			return
+		}
 	}
+}
+
+// backoff sleeps the jittered exponential delay for the tile's attempt
+// count; false means the context expired while sleeping.
+func (p *Pool) backoff(ctx context.Context, deviceID string, t *tile) bool {
+	d := p.backoffDelay(deviceID, t)
+	p.o.backoffs.Inc()
+	p.o.backoffSec.Observe(d.Seconds())
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// backoffDelay is base·2^(attempt-1) capped at the configured maximum,
+// scaled by a deterministic jitter in [0.5, 1.5) keyed on (device,
+// tile, attempt) — reproducible runs, no synchronized retry herds.
+func (p *Pool) backoffDelay(deviceID string, t *tile) time.Duration {
+	d := p.retryBackoff
+	for a := 1; a < t.attempts && d < p.retryBackoffMax; a++ {
+		d *= 2
+	}
+	if d > p.retryBackoffMax {
+		d = p.retryBackoffMax
+	}
+	return time.Duration(float64(d) * (0.5 + hashUnit(deviceID, t.i0, t.j0, t.attempts)))
+}
+
+// hashUnit maps the labels to [0,1) deterministically (FNV-1a with a
+// murmur-style finalizer, as in faultinject).
+func hashUnit(dev string, i0, j0, attempt int) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d", dev, i0, j0, attempt)
+	s := h.Sum64()
+	s ^= s >> 33
+	s *= 0xff51afd7ed558ccd
+	s ^= s >> 33
+	s *= 0xc4ceb9fe1a85ec53
+	s ^= s >> 33
+	return float64(s>>11) / float64(1<<53)
 }
 
 // next returns the member's next tile: its own queue's head, else the
 // largest other queue's tail (a steal), else it waits for in-flight
 // work to finish or fail. ok=false means the worker should exit (run
-// complete, fatal error, or member dead).
+// complete, fatal error, or member quarantined).
 func (rs *runState) next(me int, mb *member) (t *tile, stolen, ok bool) {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
@@ -155,13 +417,16 @@ func (rs *runState) next(me int, mb *member) (t *tile, stolen, ok bool) {
 
 // execTile runs one C tile on a member: operand panels are views into
 // the caller's matrices (the full K extent — never split — of the
-// tile's rows of op(A) and columns of op(B)). When beta == 0 the C view
-// writes straight through (the engine never reads C then, and write-
-// back touches only the tile's own elements). When beta != 0 the tile
-// is staged through a compact private copy: the engine's C upload
-// copies the operand's whole backing slice, which for a shared view
-// would read neighboring tiles while their owners write them.
-func execTile[T matrix.Scalar](mb *member, t *tile, ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T], k int) error {
+// tile's rows of op(A) and columns of op(B)). When beta == 0 and the
+// run is not cancellable the C view writes straight through (the engine
+// never reads C then, and write-back touches only the tile's own
+// elements). Otherwise the tile is staged through a compact private
+// copy — for beta != 0 because the engine's C upload copies the
+// operand's whole backing slice (a shared view would read neighboring
+// tiles while their owners write them), and for cancellable runs so a
+// straggler's write can be discarded after a deadline return — and the
+// returned commit closure publishes it.
+func execTile[T matrix.Scalar](ctx context.Context, rs *runState, mb *member, t *tile, ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T], k int) (commit func(), err error) {
 	var av, bv *matrix.Matrix[T]
 	if ta == blas.NoTrans {
 		av = a.View(t.i0, 0, t.th, k)
@@ -174,24 +439,27 @@ func execTile[T matrix.Scalar](mb *member, t *tile, ta, tb blas.Transpose, alpha
 		bv = b.View(t.j0, 0, t.tw, k)
 	}
 	cv := c.View(t.i0, t.j0, t.th, t.tw)
-	if beta == 0 {
-		return gemmimpl.EngineRun(engineFor[T](mb), ta, tb, alpha, av, bv, beta, cv)
+	if beta == 0 && !rs.staged {
+		return nil, gemmimpl.EngineRunCtx(ctx, engineFor[T](mb), ta, tb, alpha, av, bv, beta, cv)
 	}
 	cw := matrix.New[T](t.th, t.tw, c.Order)
-	for i := 0; i < t.th; i++ {
-		for j := 0; j < t.tw; j++ {
-			cw.Set(i, j, cv.At(i, j))
+	if beta != 0 {
+		for i := 0; i < t.th; i++ {
+			for j := 0; j < t.tw; j++ {
+				cw.Set(i, j, cv.At(i, j))
+			}
 		}
 	}
-	if err := gemmimpl.EngineRun(engineFor[T](mb), ta, tb, alpha, av, bv, beta, cw); err != nil {
-		return err
+	if err := gemmimpl.EngineRunCtx(ctx, engineFor[T](mb), ta, tb, alpha, av, bv, beta, cw); err != nil {
+		return nil, err
 	}
-	for i := 0; i < t.th; i++ {
-		for j := 0; j < t.tw; j++ {
-			cv.Set(i, j, cw.At(i, j))
+	return func() {
+		for i := 0; i < t.th; i++ {
+			for j := 0; j < t.tw; j++ {
+				cv.Set(i, j, cw.At(i, j))
+			}
 		}
-	}
-	return nil
+	}, nil
 }
 
 // tileDone records a completed tile and signals waiters when the run
@@ -207,7 +475,7 @@ func (p *Pool) tileDone(rs *runState, mb *member, prec matrix.Precision, t *tile
 		cmul = 1
 	}
 	mb.mu.Lock()
-	mb.consecFails = 0
+	p.noteSuccessLocked(mb)
 	mb.stats.Tiles++
 	if stolen {
 		mb.stats.Stolen++
@@ -230,24 +498,12 @@ func (p *Pool) tileDone(rs *runState, mb *member, prec matrix.Precision, t *tile
 	rs.mu.Unlock()
 }
 
-// tileFailed handles one failed attempt: the member's failure counters
-// advance (declaring it dead at the threshold, or immediately on
-// ErrDeviceDead), and the tile is requeued onto the least-loaded other
-// surviving member — or the call turns fatal when the tile is out of
-// attempts or no survivor remains.
+// tileFailed routes a non-retryable (on this member) failed attempt:
+// the tile is requeued onto the least-loaded other surviving member —
+// or the call turns fatal when the tile is out of attempts or no
+// survivor remains. Member health was already advanced by noteFailure.
 func (p *Pool) tileFailed(rs *runState, me int, mb *member, t *tile, err error) {
-	mb.mu.Lock()
-	mb.stats.Retries++
-	mb.consecFails++
-	if errors.Is(err, ErrDeviceDead) || mb.consecFails >= p.failThreshold {
-		mb.markDeadLocked()
-	}
-	mb.mu.Unlock()
-	mb.o.failures.Inc()
-
-	t.attempts++
 	rs.mu.Lock()
-	rs.lastErr = err
 	switch {
 	case rs.fatal != nil:
 		// Another worker already failed the run; drop the tile.
@@ -257,7 +513,7 @@ func (p *Pool) tileFailed(rs *runState, me int, mb *member, t *tile, err error) 
 	case rs.requeue(t, me):
 		p.o.requeues.Inc()
 	default:
-		rs.fatal = fmt.Errorf("%w: %d tiles pending (last failure: %v)", ErrNoDevices, rs.pending, err)
+		rs.fatal = p.noDevicesError(rs.pending, err)
 	}
 	rs.cond.Broadcast()
 	rs.mu.Unlock()

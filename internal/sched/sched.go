@@ -9,10 +9,23 @@
 // by modeled per-device throughput (earliest-completion-time list
 // scheduling over perfmodel tile estimates), then rebalanced at run
 // time by a work-stealing queue so a slow or faulted member cannot
-// stall the join. A tile that fails on one device is requeued onto the
-// survivors; a member that keeps failing (or whose launches report
-// ErrDeviceDead after Kill) is declared dead, its queue is picked clean
-// by the survivors, and it takes no further part in this or later runs.
+// stall the join. A transient tile failure is retried on the same
+// member after a jittered exponential backoff; other failures requeue
+// the tile onto the survivors.
+//
+// Member health is a per-device state machine rather than a permanent
+// flag: healthy → suspect (a recent failure) → quarantined (the
+// consecutive-failure threshold, an ErrDeviceDead launch, or Kill) →
+// probation (a probe GEMM verified bit-exact against the pure-Go BLAS
+// reference) → healthy. Quarantined members take no tiles; they are
+// re-probed on later Runs after a cooldown that doubles per failed
+// probe, except explicitly Killed members, which wait for Revive.
+//
+// RunCtx threads a context through every tile so a deadline or cancel
+// returns a typed error instead of hanging; when the pool cannot finish
+// a call, it degrades to the single healthiest member and — opt-in —
+// to the pure-Go BLAS fallback, so a call returns a correct result or a
+// typed error, never a silent wrong answer.
 //
 // Per-member statistics (tiles executed and stolen, bytes moved,
 // retries, busy and modeled device time) make the load balance and the
@@ -24,6 +37,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"oclgemm/internal/device"
 	"oclgemm/internal/gemmimpl"
@@ -33,12 +48,17 @@ import (
 )
 
 // ErrDeviceDead marks kernel launches refused because the member was
-// killed or declared dead; the scheduler reroutes the tile and removes
-// the member from the pool.
+// killed or quarantined; the scheduler reroutes the tile and drains the
+// member until a probe (or Revive) re-admits it.
 var ErrDeviceDead = errors.New("sched: device removed from pool")
 
 // ErrNoDevices reports a Run on a pool whose members are all dead.
 var ErrNoDevices = errors.New("sched: no live devices in pool")
+
+// ErrDeadlineExceeded reports a RunCtx abandoned because its context's
+// deadline expired before the call completed. It wraps the context
+// error, so errors.Is(err, context.DeadlineExceeded) also holds.
+var ErrDeadlineExceeded = errors.New("sched: run deadline exceeded")
 
 // ErrUnpriceable reports that the performance model produced no usable
 // (finite, positive) time on any live member, so an Estimate would be
@@ -46,13 +66,25 @@ var ErrNoDevices = errors.New("sched: no live devices in pool")
 var ErrUnpriceable = errors.New("sched: performance model cannot price the problem on any member")
 
 // DefaultFailThreshold is the number of consecutive tile failures after
-// which a member is declared dead and drained.
+// which a member is quarantined and drained.
 const DefaultFailThreshold = 3
 
 // DefaultTilesPerMember sets the auto-partitioner's target tile count
 // per live member: enough grain for stealing to rebalance without
 // drowning the modeled time in per-tile copy overhead.
 const DefaultTilesPerMember = 4
+
+// Retry/backoff and recovery defaults (see Options).
+const (
+	// DefaultRetryBackoff is the base delay before retrying a transient
+	// tile failure on the same member; the delay doubles per attempt.
+	DefaultRetryBackoff = time.Millisecond
+	// DefaultRetryBackoffMax caps the exponential growth.
+	DefaultRetryBackoffMax = 32 * time.Millisecond
+	// DefaultProbationTiles is how many consecutive tiles a re-admitted
+	// member must complete before it counts as fully healthy again.
+	DefaultProbationTiles = 3
+)
 
 // Options configures a pool.
 type Options struct {
@@ -71,9 +103,28 @@ type Options struct {
 	// MaxAttempts bounds how often one tile may fail across the whole
 	// pool before the call errors out (0 = 2·len(Devices)+2).
 	MaxAttempts int
-	// FailThreshold is the consecutive-failure count that declares a
-	// member dead (0 = DefaultFailThreshold).
+	// FailThreshold is the consecutive-failure count that quarantines a
+	// member (0 = DefaultFailThreshold).
 	FailThreshold int
+	// RetryBackoff is the base delay of the jittered exponential backoff
+	// applied before retrying a transient tile failure on the same
+	// member (0 = DefaultRetryBackoff); RetryBackoffMax caps the growth
+	// (0 = DefaultRetryBackoffMax). Jitter is deterministic per
+	// (device, tile, attempt).
+	RetryBackoff, RetryBackoffMax time.Duration
+	// ProbeCooldown is how many Runs a quarantined member sits out
+	// before its first re-admission probe (0 = 1); every failed probe
+	// doubles the wait, capped at 8×. Members removed by Kill are exempt
+	// from auto-probing until Revive.
+	ProbeCooldown int
+	// ProbationTiles is how many consecutive tiles a re-admitted member
+	// must complete before it is fully healthy again (0 =
+	// DefaultProbationTiles). One failure on probation re-quarantines.
+	ProbationTiles int
+	// Fallback enables the final rung of the degradation ladder: when
+	// the pool and the single-device retry both fail, compute the call
+	// with the pure-Go BLAS reference instead of returning the error.
+	Fallback bool
 	// Workers bounds per-launch work-group parallelism on every member
 	// (0 = GOMAXPROCS, 1 = serial); members always run concurrently
 	// with each other regardless.
@@ -84,9 +135,13 @@ type Options struct {
 	LaunchHook func(deviceID, kernelName string) error
 	// Obs, when set, receives the pool's execution record: per-member
 	// sched.tiles / sched.steals / sched.tile.failures /
-	// sched.member.deaths counters and sched.tile.seconds histograms
-	// (device-labeled), pool-wide sched.runs / sched.run.seconds /
-	// sched.requeues, and each member's engine and clsim metrics.
+	// sched.member.deaths / sched.member.probes /
+	// sched.member.probe.failures / sched.member.recoveries counters and
+	// sched.tile.seconds histograms (device-labeled), pool-wide
+	// sched.runs / sched.run.seconds / sched.requeues /
+	// sched.retry.backoffs / sched.deadline.exceeded /
+	// sched.degraded.single / sched.degraded.blas, and each member's
+	// engine and clsim metrics.
 	Obs *obs.Registry
 	// Trace, when set, records one span per executed tile (plus each
 	// member's engine phase spans) into its ring buffer.
@@ -113,27 +168,36 @@ type DeviceStats struct {
 	// (the paper-world cost the load balance aims to equalize).
 	BusySeconds  float64
 	ModelSeconds float64
-	// Dead reports the member was killed or drained out of the pool.
+	// Dead reports the member is currently quarantined (killed or
+	// drained); a successful probe or Revive clears it.
 	Dead bool
+	// Health is the member's serve-path health state at snapshot time.
+	Health HealthState
 }
 
 // memberObs holds one member's pre-resolved, device-labeled
 // instruments; the zero value (no registry) no-ops on every call.
 type memberObs struct {
-	tiles    *obs.Counter
-	steals   *obs.Counter
-	failures *obs.Counter
-	deaths   *obs.Counter
-	tileSec  *obs.Histogram
+	tiles      *obs.Counter
+	steals     *obs.Counter
+	failures   *obs.Counter
+	deaths     *obs.Counter
+	probes     *obs.Counter
+	probeFails *obs.Counter
+	recoveries *obs.Counter
+	tileSec    *obs.Histogram
 }
 
 func resolveMemberObs(r *obs.Registry, id string) memberObs {
 	return memberObs{
-		tiles:    r.Counter(obs.Label("sched.tiles", "device", id)),
-		steals:   r.Counter(obs.Label("sched.steals", "device", id)),
-		failures: r.Counter(obs.Label("sched.tile.failures", "device", id)),
-		deaths:   r.Counter(obs.Label("sched.member.deaths", "device", id)),
-		tileSec:  r.Histogram(obs.Label("sched.tile.seconds", "device", id)),
+		tiles:      r.Counter(obs.Label("sched.tiles", "device", id)),
+		steals:     r.Counter(obs.Label("sched.steals", "device", id)),
+		failures:   r.Counter(obs.Label("sched.tile.failures", "device", id)),
+		deaths:     r.Counter(obs.Label("sched.member.deaths", "device", id)),
+		probes:     r.Counter(obs.Label("sched.member.probes", "device", id)),
+		probeFails: r.Counter(obs.Label("sched.member.probe.failures", "device", id)),
+		recoveries: r.Counter(obs.Label("sched.member.recoveries", "device", id)),
+		tileSec:    r.Histogram(obs.Label("sched.tile.seconds", "device", id)),
 	}
 }
 
@@ -151,32 +215,32 @@ type member struct {
 	tr *obs.Tracer
 
 	mu          sync.Mutex
-	dead        bool
+	state       HealthState
+	killed      bool // explicit Kill: no auto-probe until Revive
+	probing     bool // a probe launch is in flight (hook admits it)
 	consecFails int
+	consecOK    int   // successful tiles since entering probation
+	nextProbe   int64 // run sequence when the next auto-probe is due
+	probeWait   int64 // current probe cooldown in runs
+	probes      int
+	probeFails  int
+	recoveries  int
 	stats       DeviceStats
 }
 
+// isDead reports the member is quarantined and must take no tiles.
 func (mb *member) isDead() bool {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	return mb.dead
+	return mb.state == Quarantined
 }
 
-func (mb *member) markDead() {
+// refusesLaunch reports whether the member's launch hook must refuse:
+// quarantined, unless the launch is the member's own recovery probe.
+func (mb *member) refusesLaunch() bool {
 	mb.mu.Lock()
-	mb.markDeadLocked()
-	mb.mu.Unlock()
-}
-
-// markDeadLocked declares the member dead under mb.mu, counting the
-// death event only on the first transition.
-func (mb *member) markDeadLocked() {
-	if mb.dead {
-		return
-	}
-	mb.dead = true
-	mb.stats.Dead = true
-	mb.o.deaths.Inc()
+	defer mb.mu.Unlock()
+	return mb.state == Quarantined && !mb.probing
 }
 
 // Pool is a set of devices that jointly execute GEMM calls. Engines,
@@ -187,17 +251,28 @@ type Pool struct {
 	opts    Options
 	members []*member
 
-	maxAttempts   int
-	failThreshold int
+	maxAttempts     int
+	failThreshold   int
+	retryBackoff    time.Duration
+	retryBackoffMax time.Duration
+	probeCooldown   int64
+	probationTiles  int
+
+	runSeq atomic.Int64 // Run calls issued; clocks the probe cooldowns
 
 	o poolObs
 }
 
 // poolObs holds the pool-wide instruments (zero value no-ops).
 type poolObs struct {
-	runs     *obs.Counter
-	runSec   *obs.Histogram
-	requeues *obs.Counter
+	runs          *obs.Counter
+	runSec        *obs.Histogram
+	requeues      *obs.Counter
+	backoffs      *obs.Counter
+	backoffSec    *obs.Histogram
+	deadlines     *obs.Counter
+	degradeSingle *obs.Counter
+	degradeBlas   *obs.Counter
 }
 
 // New builds a pool: every device resolves its tuned kernel for both
@@ -222,10 +297,31 @@ func New(opts Options) (*Pool, error) {
 	if p.failThreshold <= 0 {
 		p.failThreshold = DefaultFailThreshold
 	}
+	p.retryBackoff = opts.RetryBackoff
+	if p.retryBackoff <= 0 {
+		p.retryBackoff = DefaultRetryBackoff
+	}
+	p.retryBackoffMax = opts.RetryBackoffMax
+	if p.retryBackoffMax <= 0 {
+		p.retryBackoffMax = DefaultRetryBackoffMax
+	}
+	p.probeCooldown = int64(opts.ProbeCooldown)
+	if p.probeCooldown <= 0 {
+		p.probeCooldown = 1
+	}
+	p.probationTiles = opts.ProbationTiles
+	if p.probationTiles <= 0 {
+		p.probationTiles = DefaultProbationTiles
+	}
 	p.o = poolObs{
-		runs:     opts.Obs.Counter("sched.runs"),
-		runSec:   opts.Obs.Histogram("sched.run.seconds"),
-		requeues: opts.Obs.Counter("sched.requeues"),
+		runs:          opts.Obs.Counter("sched.runs"),
+		runSec:        opts.Obs.Histogram("sched.run.seconds"),
+		requeues:      opts.Obs.Counter("sched.requeues"),
+		backoffs:      opts.Obs.Counter("sched.retry.backoffs"),
+		backoffSec:    opts.Obs.Histogram("sched.retry.backoff.seconds"),
+		deadlines:     opts.Obs.Counter("sched.deadline.exceeded"),
+		degradeSingle: opts.Obs.Counter("sched.degraded.single"),
+		degradeBlas:   opts.Obs.Counter("sched.degraded.blas"),
 	}
 	for i, d := range opts.Devices {
 		mb, err := p.newMember(i, d, db)
@@ -243,7 +339,7 @@ func (p *Pool) newMember(idx int, d *device.Spec, db *tunedb.DB) (*member, error
 	mb.o = resolveMemberObs(p.opts.Obs, d.ID)
 	mb.tr = p.opts.Trace
 	hook := func(kernelName string) error {
-		if mb.isDead() {
+		if mb.refusesLaunch() {
 			return fmt.Errorf("%w: %s", ErrDeviceDead, d.ID)
 		}
 		if p.opts.LaunchHook != nil {
@@ -334,15 +430,19 @@ func (p *Pool) Devices() []*device.Spec {
 	return out
 }
 
-// Kill marks every member with the device ID dead: in-flight launches
+// Kill quarantines every member with the device ID: in-flight launches
 // fail with ErrDeviceDead, queued tiles are stolen by the survivors,
-// and later Runs exclude the member. It reports whether any member
+// and later Runs exclude the member. A killed member is never
+// auto-probed; Revive lifts the kill. It reports whether any member
 // matched.
 func (p *Pool) Kill(deviceID string) bool {
 	hit := false
 	for _, mb := range p.members {
 		if mb.dev.ID == deviceID {
-			mb.markDead()
+			mb.mu.Lock()
+			mb.killed = true
+			p.quarantineLocked(mb)
+			mb.mu.Unlock()
 			hit = true
 		}
 	}
@@ -378,6 +478,7 @@ func (p *Pool) Stats() []DeviceStats {
 	for i, mb := range p.members {
 		mb.mu.Lock()
 		out[i] = mb.stats
+		out[i].Health = mb.state
 		mb.mu.Unlock()
 	}
 	return out

@@ -1,6 +1,8 @@
 package oclgemm
 
 import (
+	"context"
+
 	"oclgemm/internal/sched"
 )
 
@@ -21,8 +23,14 @@ type PoolOptions struct {
 	Workers int
 	// MaxAttempts bounds how often one tile may fail across the pool
 	// before the call errors (0 = 2·members+2); FailThreshold is the
-	// consecutive-failure count that declares a member dead (0 = 3).
+	// consecutive-failure count that quarantines a member (0 = 3).
 	MaxAttempts, FailThreshold int
+	// Fallback enables the last rung of the degradation ladder: when the
+	// pool and the single-device retry both fail, the call is computed
+	// with the pure-Go BLAS reference instead of returning the error
+	// (in-order accumulation — bit-exact for float64, within rounding
+	// for float32).
+	Fallback bool
 	// LaunchHook, when set, is consulted before every kernel launch on
 	// every member (fault injection: return an error to fail the
 	// launch). It receives the member's device ID and the kernel name.
@@ -47,11 +55,32 @@ type PoolDeviceStats = sched.DeviceStats
 type PoolEstimate = sched.Estimate
 
 // ErrDeviceDead marks kernel launches refused because a pool member was
-// killed or declared dead.
+// killed or quarantined; errors.Is(err, ErrDeviceDead) identifies them.
 var ErrDeviceDead = sched.ErrDeviceDead
 
-// ErrNoDevices reports a pool call with every member dead.
+// ErrNoDevices reports a pool call with every member dead; the error
+// chain names the dead devices.
 var ErrNoDevices = sched.ErrNoDevices
+
+// ErrDeadlineExceeded reports a pool call abandoned at its context
+// deadline; it also matches errors.Is(err, context.DeadlineExceeded).
+var ErrDeadlineExceeded = sched.ErrDeadlineExceeded
+
+// PoolHealthState is a member's position in the pool's health state
+// machine: healthy → suspect → quarantined → probation → healthy.
+type PoolHealthState = sched.HealthState
+
+// Pool member health states (see DESIGN.md §11).
+const (
+	PoolHealthy     = sched.Healthy
+	PoolSuspect     = sched.Suspect
+	PoolProbation   = sched.Probation
+	PoolQuarantined = sched.Quarantined
+)
+
+// PoolMemberHealth is one member's health snapshot: state, kill flag,
+// consecutive failures, and lifetime probe/recovery counts.
+type PoolMemberHealth = sched.MemberHealth
 
 // PoolGEMM executes one logical C ← α·op(A)·op(B) + β·C across a pool
 // of simulated devices. C is partitioned into row/column tiles (never
@@ -84,6 +113,7 @@ func NewPoolGEMM(opts PoolOptions) (*PoolGEMM, error) {
 		Workers:       opts.Workers,
 		MaxAttempts:   opts.MaxAttempts,
 		FailThreshold: opts.FailThreshold,
+		Fallback:      opts.Fallback,
 		LaunchHook:    opts.LaunchHook,
 		Obs:           opts.Metrics,
 		Trace:         opts.Trace,
@@ -100,14 +130,38 @@ func PoolRun[T Scalar](pg *PoolGEMM, transA, transB Transpose, alpha T, a, b *Ma
 	return sched.Run(pg.pool, transA, transB, alpha, a, b, beta, c)
 }
 
+// PoolRunCtx is PoolRun honoring a context: the call returns a correct
+// result or a typed error before the deadline, never a hang. Members
+// quarantined by earlier faults are re-probed (and re-admitted when
+// their probe GEMM verifies bit-exact) first; a failed pool run
+// degrades to the single healthiest member and — when
+// PoolOptions.Fallback is set — to the pure-Go BLAS reference. On
+// deadline the error matches both ErrDeadlineExceeded and
+// context.DeadlineExceeded, and C is left unmodified by any straggling
+// tile.
+func PoolRunCtx[T Scalar](ctx context.Context, pg *PoolGEMM, transA, transB Transpose, alpha T, a, b *Matrix[T], beta T, c *Matrix[T]) error {
+	return sched.RunCtx(ctx, pg.pool, transA, transB, alpha, a, b, beta, c)
+}
+
 // Run is the convenience method for float64 (DGEMM).
 func (pg *PoolGEMM) Run(transA, transB Transpose, alpha float64, a, b *Matrix[float64], beta float64, c *Matrix[float64]) error {
 	return sched.Run(pg.pool, transA, transB, alpha, a, b, beta, c)
 }
 
+// RunCtx is the context-honoring variant of Run (see PoolRunCtx).
+func (pg *PoolGEMM) RunCtx(ctx context.Context, transA, transB Transpose, alpha float64, a, b *Matrix[float64], beta float64, c *Matrix[float64]) error {
+	return sched.RunCtx(ctx, pg.pool, transA, transB, alpha, a, b, beta, c)
+}
+
 // RunSingle is the float32 (SGEMM) counterpart of Run.
 func (pg *PoolGEMM) RunSingle(transA, transB Transpose, alpha float32, a, b *Matrix[float32], beta float32, c *Matrix[float32]) error {
 	return sched.Run(pg.pool, transA, transB, alpha, a, b, beta, c)
+}
+
+// RunSingleCtx is the context-honoring variant of RunSingle (see
+// PoolRunCtx).
+func (pg *PoolGEMM) RunSingleCtx(ctx context.Context, transA, transB Transpose, alpha float32, a, b *Matrix[float32], beta float32, c *Matrix[float32]) error {
+	return sched.RunCtx(ctx, pg.pool, transA, transB, alpha, a, b, beta, c)
 }
 
 // Devices returns the member devices in pool order (dead ones
@@ -117,10 +171,19 @@ func (pg *PoolGEMM) Devices() []*Device { return pg.pool.Devices() }
 // Alive returns the number of live members.
 func (pg *PoolGEMM) Alive() int { return pg.pool.Alive() }
 
-// Kill marks the member with the device ID dead: in-flight launches on
+// Kill quarantines the member with the device ID: in-flight launches on
 // it fail, its queued tiles migrate to the survivors, and later calls
-// exclude it. It reports whether any member matched.
+// exclude it until Revive. It reports whether any member matched.
 func (pg *PoolGEMM) Kill(deviceID string) bool { return pg.pool.Kill(deviceID) }
+
+// Revive lifts a Kill: the member is probed immediately and re-admitted
+// on probation when the probe GEMM verifies bit-exact against the
+// pure-Go reference. It reports whether the member is schedulable
+// again.
+func (pg *PoolGEMM) Revive(deviceID string) bool { return pg.pool.Revive(deviceID) }
+
+// Health returns every member's health snapshot, in pool order.
+func (pg *PoolGEMM) Health() []PoolMemberHealth { return pg.pool.Health() }
 
 // Stats returns a snapshot of every member's cumulative statistics, in
 // pool order.
