@@ -18,7 +18,18 @@ import (
 // are built on first use and kept for subsequent calls, and repeated
 // calls with an unchanged A or B operand skip that operand's copy
 // entirely. Steady-state calls therefore do near-zero allocation; see
-// Close to release the cached device state. Safe for concurrent use.
+// Close to release the cached device state.
+//
+// Concurrency contract: one GEMM may be shared by any number of
+// goroutines. Concurrent Run/RunCtx/RunBatch calls are safe — calls on
+// the same padded shape serialize on that shape's plan, calls on
+// different shapes run in parallel, and a cold shape's plan build never
+// blocks warm shapes. The mutators are individually safe concurrently
+// with Runs: SetWorkers takes effect from each plan's next call;
+// SetFastPath and Observe affect only plans built afterwards (Close
+// first to rebuild); Close itself may run concurrently with calls —
+// in-flight calls finish on their (now evicted) plans before those are
+// released.
 type GEMM struct {
 	eng *gemmimpl.Engine
 }
@@ -41,8 +52,10 @@ func (g *GEMM) Device() *Device { return g.eng.Impl().Dev }
 
 // SetWorkers bounds the number of goroutines executing independent
 // work-groups per kernel launch (0 = GOMAXPROCS, 1 = serial). Results
-// are identical for every setting; only wall-clock time changes.
-func (g *GEMM) SetWorkers(n int) { g.eng.Impl().Workers = n }
+// are identical for every setting; only wall-clock time changes. Safe
+// to call concurrently with Runs: in-flight calls finish with the old
+// setting, each plan's next call picks up the new one.
+func (g *GEMM) SetWorkers(n int) { g.eng.Impl().SetWorkers(n) }
 
 // Close releases the engine's cached plans (device buffers, kernels).
 // The routine remains usable; the next call rebuilds its plan.
@@ -51,8 +64,9 @@ func (g *GEMM) Close() { g.eng.Close() }
 // SetFastPath enables (the default) or disables the specialized
 // micro-kernel fast paths for plans built after the call; combined with
 // Close it lets benchmarks A/B the fast and generic kernel paths.
-// Results are bit-identical either way; only speed changes.
-func (g *GEMM) SetFastPath(enabled bool) { g.eng.Impl().ForceGenericKernels = !enabled }
+// Results are bit-identical either way; only speed changes. Safe to
+// call concurrently with Runs.
+func (g *GEMM) SetFastPath(enabled bool) { g.eng.Impl().SetForceGenericKernels(!enabled) }
 
 // Run computes C ← alpha·op(A)·op(B) + beta·C functionally on the
 // simulated device. The element type T must match the routine's

@@ -14,6 +14,8 @@ package gemmimpl
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"math"
 
@@ -27,38 +29,33 @@ import (
 )
 
 // Impl is a GEMM implementation bound to a device and a tuned kernel
-// parameter set (usually the tuner's winner).
+// parameter set (usually the tuner's winner). One Impl may be shared by
+// any number of plans and request goroutines: the immutable identity
+// (Dev, Params) is plain data, and every mutable option lives behind
+// atomic or mutex access so SetWorkers/SetForceGenericKernels may be
+// called concurrently with Runs (serve path).
 type Impl struct {
 	Dev    *device.Spec
 	Params codegen.Params
 
-	// Workers bounds the work-group parallelism of kernel launches
+	// workers bounds the work-group parallelism of kernel launches
 	// issued by plans built from this implementation (0 = GOMAXPROCS,
-	// 1 = serial); see clsim.Queue.Workers.
-	Workers int
+	// 1 = serial); see clsim.Queue.Workers. Atomic: read at every Run,
+	// written by SetWorkers at any time.
+	workers atomic.Int64
 
-	// LaunchHook is copied onto the command queue of every plan built
-	// from this implementation (fault injection; see
-	// clsim.Queue.LaunchHook).
-	LaunchHook func(kernelName string) error
+	// forceGeneric disables the micro-kernel fast paths on every kernel
+	// built by plans of this implementation, forcing the generic
+	// closure reference path (A/B benchmarking, bit-identity tests).
+	// Atomic: it only affects plans built after the write.
+	forceGeneric atomic.Bool
 
-	// Obs, when set, receives the execution metrics of every plan built
-	// from this implementation: per-phase pack/kernel/copy timing
-	// histograms, pack-reuse and plan-cache counters, and the clsim
-	// launch/buffer accounting. Set it before plans are built.
-	Obs *obs.Registry
-
-	// Trace, when set, records a span per pack/kernel/copy phase of
-	// every Run into its ring buffer (obs.Tracer). Set it before plans
-	// are built.
-	Trace *obs.Tracer
-
-	// ForceGenericKernels disables the micro-kernel fast paths on every
-	// kernel built by plans of this implementation, forcing the generic
-	// closure reference path. Set it before plans are built; it exists
-	// for A/B benchmarking and for the bit-identity tests that compare
-	// the two paths.
-	ForceGenericKernels bool
+	// mu guards the reference-typed options below, which are copied
+	// into a plan at build time.
+	mu         sync.Mutex
+	launchHook func(kernelName string) error
+	obs        *obs.Registry
+	trace      *obs.Tracer
 }
 
 // New validates the kernel parameters against the device.
@@ -67,6 +64,67 @@ func New(d *device.Spec, p codegen.Params) (*Impl, error) {
 		return nil, err
 	}
 	return &Impl{Dev: d, Params: p}, nil
+}
+
+// SetWorkers bounds the work-group parallelism of kernel launches
+// issued by plans built from this implementation (0 = GOMAXPROCS,
+// 1 = serial). Safe to call concurrently with Runs: in-flight calls
+// finish with the old setting, the next call on every plan picks up
+// the new one. Results are identical for every setting.
+func (im *Impl) SetWorkers(n int) { im.workers.Store(int64(n)) }
+
+// Workers returns the current work-group parallelism bound.
+func (im *Impl) Workers() int { return int(im.workers.Load()) }
+
+// SetForceGenericKernels disables (true) or re-enables (false) the
+// micro-kernel fast paths. It affects plans built after the call; safe
+// to call concurrently with Runs.
+func (im *Impl) SetForceGenericKernels(force bool) { im.forceGeneric.Store(force) }
+
+// ForceGenericKernels reports whether new plans build generic kernels.
+func (im *Impl) ForceGenericKernels() bool { return im.forceGeneric.Load() }
+
+// SetLaunchHook installs the hook consulted before every kernel launch
+// of plans built after the call (fault injection; see
+// clsim.Queue.LaunchHook). Safe to call concurrently with Runs.
+func (im *Impl) SetLaunchHook(hook func(kernelName string) error) {
+	im.mu.Lock()
+	im.launchHook = hook
+	im.mu.Unlock()
+}
+
+// SetObservability attaches a metrics registry and/or span tracer
+// (either may be nil) to plans built after the call: per-phase timing
+// histograms, pack-reuse and plan-cache counters, and the clsim
+// launch/buffer accounting. Safe to call concurrently with Runs, but
+// plans already built keep the instruments they were built with.
+func (im *Impl) SetObservability(r *obs.Registry, t *obs.Tracer) {
+	im.mu.Lock()
+	im.obs = r
+	im.trace = t
+	im.mu.Unlock()
+}
+
+// Obs returns the implementation's metrics registry (nil when
+// observability is off; every obs instrument is nil-safe).
+func (im *Impl) Obs() *obs.Registry {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	return im.obs
+}
+
+// Trace returns the implementation's span tracer (may be nil).
+func (im *Impl) Trace() *obs.Tracer {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	return im.trace
+}
+
+// launchHookRef returns the current launch hook under the lock.
+func (im *Impl) launchHookRef() func(string) error {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	return im.launchHook
 }
 
 // Dims validates operand shapes against C and returns the problem
@@ -87,6 +145,11 @@ func (im *Impl) padded(m, n, k int) (mp, np, kp int) {
 	}
 	return
 }
+
+// PaddedDims exposes the kernel-ready padded shape for an m×n×k
+// problem — the plan-cache key. Layers that group traffic by the plan
+// it will execute on (the serve coalescer) key on this.
+func (im *Impl) PaddedDims(m, n, k int) (mp, np, kp int) { return im.padded(m, n, k) }
 
 // Run computes C ← alpha·op(A)·op(B) + beta·C functionally on the
 // simulated device. A, B, C may be stored in either order (the paper's

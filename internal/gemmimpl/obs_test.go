@@ -47,11 +47,10 @@ func TestFingerprintMixesShapeAndOrder(t *testing.T) {
 // counters, and the pack-skip fast path must show up as reuse counts.
 func TestPlanPhaseMetricsAndReuseCounters(t *testing.T) {
 	im := testImpl(t)
-	im.Workers = 1
+	im.SetWorkers(1)
 	reg := obs.NewRegistry()
 	tr := obs.NewTracer(64)
-	im.Obs = reg
-	im.Trace = tr
+	im.SetObservability(reg, tr)
 
 	const m, n, k = 24, 24, 12
 	pl, err := NewPlan[float64](im, m, n, k)
@@ -125,10 +124,9 @@ func TestWarmPlanOverheadUnderFivePercent(t *testing.T) {
 
 	run := func(instrumented bool) func(bench *testing.B) {
 		im := testImpl(t)
-		im.Workers = 1
+		im.SetWorkers(1)
 		if instrumented {
-			im.Obs = obs.NewRegistry()
-			im.Trace = obs.NewTracer(0)
+			im.SetObservability(obs.NewRegistry(), obs.NewTracer(0))
 		}
 		pl, err := NewPlan[float64](im, m, n, k)
 		if err != nil {
@@ -176,8 +174,8 @@ func TestWarmKernelPhaseZeroAllocs(t *testing.T) {
 		}
 		t.Run(name, func(t *testing.T) {
 			im := testImpl(t)
-			im.Workers = 1
-			im.ForceGenericKernels = forceGeneric
+			im.SetWorkers(1)
+			im.SetForceGenericKernels(forceGeneric)
 			const m, n, k = 24, 24, 12
 			pl, err := NewPlan[float64](im, m, n, k)
 			if err != nil {

@@ -153,7 +153,13 @@ type PlanStats struct {
 // GEMM kernels, a staging-buffer pool and the host readback slice.
 // Repeated calls whose operands pad to the plan's shape run with no
 // setup cost, and an unchanged A or B operand skips its upload + pack.
-// Methods are safe for concurrent use (calls serialize on the plan).
+//
+// Concurrency: all methods are safe for concurrent use, but calls on
+// ONE plan serialize on its mutex (a plan owns a single set of device
+// buffers). Cross-shape parallelism comes from running distinct plans
+// concurrently — the PlanCache/Engine layers above hand concurrent
+// goroutines distinct plans per padded shape, which execute in
+// parallel.
 type Plan[T matrix.Scalar] struct {
 	im         *Impl
 	Mp, Np, Kp int
@@ -233,15 +239,16 @@ func NewPlan[T matrix.Scalar](im *Impl, m, n, k int) (*Plan[T], error) {
 	dev := &clsim.Device{Spec: im.Dev}
 	ctx := clsim.NewContext(dev)
 	q := clsim.NewQueue(ctx)
-	q.Workers = im.Workers
-	q.LaunchHook = im.LaunchHook
-	ctx.SetObserver(im.Obs)
+	reg := im.Obs()
+	q.Workers = im.Workers()
+	q.LaunchHook = im.launchHookRef()
+	ctx.SetObserver(reg)
 	pl := &Plan[T]{
 		im: im, Mp: mp, Np: np, Kp: kp,
 		ctx: ctx, q: q, pool: newBufPool(ctx),
 		cp: make([]T, mp*np),
-		tr: im.Trace,
-		o:  resolvePlanObs(im.Obs),
+		tr: im.Trace(),
+		o:  resolvePlanObs(reg),
 	}
 	var err error
 	if pl.bufA, err = ctx.CreateBuffer(kp * mp * esz); err != nil {
@@ -278,11 +285,11 @@ func NewPlan[T matrix.Scalar](im *Impl, m, n, k int) (*Plan[T], error) {
 		pl.Close()
 		return nil, err
 	}
-	pl.kern.SetObserver(im.Obs)
+	pl.kern.SetObserver(reg)
 	for _, pk := range []*kernels.Pack[T]{pl.packA, pl.packB, pl.packC} {
-		pk.SetObserver(im.Obs)
+		pk.SetObserver(reg)
 	}
-	if im.ForceGenericKernels {
+	if im.ForceGenericKernels() {
 		pl.kern.SetFastPath(false)
 		for _, pk := range []*kernels.Pack[T]{pl.packA, pl.packB, pl.packC} {
 			pk.SetFastPath(false)
@@ -380,7 +387,7 @@ func (pl *Plan[T]) RunCtx(ctx context.Context, ta, tb blas.Transpose, alpha T, a
 	if pl.closed {
 		return fmt.Errorf("gemmimpl: Run on closed plan")
 	}
-	pl.q.Workers = pl.im.Workers
+	pl.q.Workers = pl.im.Workers()
 	callStart := time.Now()
 	esz := int64(pl.im.Params.Precision.Size())
 
@@ -475,8 +482,15 @@ func (pl *Plan[T]) RunCtx(ctx context.Context, ta, tb blas.Transpose, alpha T, a
 // planKey is the padded shape a plan serves.
 type planKey struct{ mp, np, kp int }
 
+// cacheEntry is one cached plan plus its lifecycle state. An entry is
+// inserted before its plan is built (singleflight placeholder): ready
+// is closed when the build finishes, after which exactly one of plan
+// and err is set. refs counts calls between claim and release; a
+// doomed entry (evicted while in use) is closed by the last release.
 type cacheEntry[T matrix.Scalar] struct {
 	plan    *Plan[T]
+	err     error
+	ready   chan struct{}
 	refs    int
 	lastUse int64
 	doomed  bool
@@ -488,12 +502,22 @@ const DefaultMaxPlans = 8
 
 // PlanCache keeps one plan per padded problem shape for an
 // implementation, building plans on first use and evicting LRU when
-// over capacity. Safe for concurrent use.
+// over capacity. Safe for concurrent use: the heavyweight plan build
+// happens outside the cache lock with per-key singleflight, so a cold
+// miss for one shape never blocks calls on warm shapes and concurrent
+// cold misses for one shape build exactly once.
 type PlanCache[T matrix.Scalar] struct {
 	im       *Impl
 	maxPlans int
 
 	hit, miss, evicted *obs.Counter
+
+	// buildHook, when set, runs in the building goroutine after the
+	// singleflight placeholder is published but before NewPlan — with
+	// pc.mu NOT held. A non-nil return aborts the build with that
+	// error. Tests use it to stall a cold build (proving warm shapes
+	// keep running) and to inject build failures.
+	buildHook func() error
 
 	mu    sync.Mutex
 	seq   int64
@@ -508,9 +532,9 @@ func NewPlanCache[T matrix.Scalar](im *Impl, maxPlans int) *PlanCache[T] {
 	}
 	return &PlanCache[T]{
 		im: im, maxPlans: maxPlans, plans: make(map[planKey]*cacheEntry[T]),
-		hit:     im.Obs.Counter("gemm.plan.hit"),
-		miss:    im.Obs.Counter("gemm.plan.miss"),
-		evicted: im.Obs.Counter("gemm.plan.evicted"),
+		hit:     im.Obs().Counter("gemm.plan.hit"),
+		miss:    im.Obs().Counter("gemm.plan.miss"),
+		evicted: im.Obs().Counter("gemm.plan.evicted"),
 	}
 }
 
@@ -521,12 +545,15 @@ func (pc *PlanCache[T]) Len() int {
 	return len(pc.plans)
 }
 
-// Stats sums the counters of every live cached plan.
+// Stats sums the counters of every live cached plan (entries still
+// being built are skipped).
 func (pc *PlanCache[T]) Stats() PlanStats {
 	pc.mu.Lock()
 	entries := make([]*cacheEntry[T], 0, len(pc.plans))
 	for _, e := range pc.plans {
-		entries = append(entries, e)
+		if e.plan != nil {
+			entries = append(entries, e)
+		}
 	}
 	pc.mu.Unlock()
 	var out PlanStats
@@ -550,6 +577,13 @@ func (pc *PlanCache[T]) Run(ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[
 }
 
 // RunCtx is Run with cancellation, forwarded to the plan's RunCtx.
+//
+// A cold shape builds its plan outside the cache lock: the call
+// publishes a singleflight placeholder, releases pc.mu, and only then
+// runs the heavyweight NewPlan, so warm-shape traffic is never
+// head-of-line-blocked behind a cold build. Concurrent cold misses for
+// one shape build exactly once — the losers wait for the winner's
+// build (or their context, whichever ends first).
 func (pc *PlanCache[T]) RunCtx(ctx context.Context, ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T]) error {
 	m, n, k, err := gemmDims(ta, tb, a, b, c)
 	if err != nil {
@@ -561,36 +595,85 @@ func (pc *PlanCache[T]) RunCtx(ctx context.Context, ta, tb blas.Transpose, alpha
 	pc.mu.Lock()
 	e := pc.plans[key]
 	if e == nil {
+		// Cold miss: claim the key with an unbuilt entry and build
+		// outside the lock. The claim ref keeps eviction from closing
+		// the entry mid-build (it may doom it; see release).
 		pc.miss.Inc()
-		plan, perr := NewPlan[T](pc.im, m, n, k)
+		e = &cacheEntry[T]{ready: make(chan struct{}), refs: 1}
+		pc.plans[key] = e
+		pc.touchLocked(e)
+		pc.evictLocked(key)
+		pc.mu.Unlock()
+
+		var plan *Plan[T]
+		var perr error
+		if pc.buildHook != nil {
+			perr = pc.buildHook()
+		}
+		if perr == nil {
+			plan, perr = NewPlan[T](pc.im, m, n, k)
+		}
+
+		pc.mu.Lock()
+		e.plan, e.err = plan, perr
+		close(e.ready)
 		if perr != nil {
+			// A failed build must not poison the key: drop the entry so
+			// the next call rebuilds. Waiters still hold e and see e.err.
+			if pc.plans[key] == e {
+				delete(pc.plans, key)
+			}
+			pc.releaseLocked(e)
 			pc.mu.Unlock()
 			return perr
 		}
-		e = &cacheEntry[T]{plan: plan}
-		pc.plans[key] = e
+		pc.mu.Unlock()
 	} else {
+		e.refs++
+		pc.touchLocked(e)
+		pc.mu.Unlock()
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			pc.release(e)
+			return ctxErr(ctx.Err(), "plan build")
+		}
+		if e.err != nil {
+			pc.release(e)
+			return e.err
+		}
 		pc.hit.Inc()
 	}
-	e.refs++
-	pc.seq++
-	e.lastUse = pc.seq
-	pc.evictLocked(key)
-	pc.mu.Unlock()
 
 	err = e.plan.RunCtx(ctx, ta, tb, alpha, a, b, beta, c)
-
-	pc.mu.Lock()
-	e.refs--
-	if e.doomed && e.refs == 0 {
-		e.plan.Close()
-	}
-	pc.mu.Unlock()
+	pc.release(e)
 	return err
 }
 
+// touchLocked stamps the entry as most recently used.
+func (pc *PlanCache[T]) touchLocked(e *cacheEntry[T]) {
+	pc.seq++
+	e.lastUse = pc.seq
+}
+
+// release drops one claim on the entry, closing a doomed plan when the
+// last claim goes.
+func (pc *PlanCache[T]) release(e *cacheEntry[T]) {
+	pc.mu.Lock()
+	pc.releaseLocked(e)
+	pc.mu.Unlock()
+}
+
+func (pc *PlanCache[T]) releaseLocked(e *cacheEntry[T]) {
+	e.refs--
+	if e.doomed && e.refs == 0 && e.plan != nil {
+		e.plan.Close()
+	}
+}
+
 // evictLocked drops least-recently-used plans beyond capacity. In-use
-// plans are doomed instead of closed; the last Run releases them.
+// (or still-building) plans are doomed instead of closed; the last
+// release closes them.
 func (pc *PlanCache[T]) evictLocked(keep planKey) {
 	for len(pc.plans) > pc.maxPlans {
 		var victim planKey
@@ -609,7 +692,7 @@ func (pc *PlanCache[T]) evictLocked(keep planKey) {
 		e := pc.plans[victim]
 		delete(pc.plans, victim)
 		pc.evicted.Inc()
-		if e.refs == 0 {
+		if e.refs == 0 && e.plan != nil {
 			e.plan.Close()
 		} else {
 			e.doomed = true
@@ -623,7 +706,7 @@ func (pc *PlanCache[T]) Close() {
 	defer pc.mu.Unlock()
 	for k, e := range pc.plans {
 		delete(pc.plans, k)
-		if e.refs == 0 {
+		if e.refs == 0 && e.plan != nil {
 			e.plan.Close()
 		} else {
 			e.doomed = true
@@ -710,4 +793,23 @@ func RunBatchCtx[T matrix.Scalar](ctx context.Context, e *Engine, calls []Call[T
 		}
 	}
 	return nil
+}
+
+// RunBatchEachCtx executes a batch of independent calls with per-call
+// contexts, returning one error slot per call instead of stopping at
+// the first failure — the serve coalescer's entry point: requests from
+// different clients share the warm plan (and pack reuse) of a batch,
+// but one expired deadline or bad call must not fail its neighbors. A
+// nil or missing context means context.Background; ctxs may be shorter
+// than calls.
+func RunBatchEachCtx[T matrix.Scalar](e *Engine, ctxs []context.Context, calls []Call[T]) []error {
+	errs := make([]error, len(calls))
+	for i, cl := range calls {
+		ctx := context.Background()
+		if i < len(ctxs) && ctxs[i] != nil {
+			ctx = ctxs[i]
+		}
+		errs[i] = EngineRunCtx(ctx, e, cl.TransA, cl.TransB, cl.Alpha, cl.A, cl.B, cl.Beta, cl.C)
+	}
+	return errs
 }

@@ -203,12 +203,12 @@ func TestPlanBufferAccounting(t *testing.T) {
 	for fail := int64(1); fail <= 4; fail++ {
 		var launch int64
 		imf := testImpl(t)
-		imf.LaunchHook = func(string) error {
+		imf.SetLaunchHook(func(string) error {
 			if atomic.AddInt64(&launch, 1) == fail {
 				return errInjected
 			}
 			return nil
-		}
+		})
 		pl, err := NewPlan[float64](imf, m, n, k)
 		if err != nil {
 			t.Fatal(err)
@@ -348,7 +348,7 @@ func TestPlanWorkersDeterministic(t *testing.T) {
 	var ref *matrix.Matrix[float64]
 	for _, workers := range []int{1, 4, 0} {
 		im := testImpl(t)
-		im.Workers = workers
+		im.SetWorkers(workers)
 		c := randCM(m, n, 3)
 		if err := Run(im, blas.NoTrans, blas.NoTrans, 1.5, a, b, -0.25, c); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
@@ -377,7 +377,7 @@ func TestPlanSteadyStateAllocations(t *testing.T) {
 	// reuses the packed operands entirely. Serial workers keep scheduler
 	// allocations out of the comparison.
 	im := testImpl(t)
-	im.Workers = 1
+	im.SetWorkers(1)
 	m, n, k := 8, 8, 512
 	a, b, c := randCM(m, k, 1), randCM(k, n, 2), randCM(m, n, 3)
 
@@ -492,8 +492,8 @@ func comparePlanPaths[T matrix.Scalar](t *testing.T, p codegen.Params, ta, tb bl
 		if err != nil {
 			t.Fatal(err)
 		}
-		im.Workers = 1
-		im.ForceGenericKernels = forceGeneric
+		im.SetWorkers(1)
+		im.SetForceGenericKernels(forceGeneric)
 		pl, err := NewPlan[T](im, m, n, k)
 		if err != nil {
 			t.Fatal(err)

@@ -109,7 +109,7 @@ func (e *Engine) SetWorkers(n int) {
 		e.pool.SetWorkers(n)
 		return
 	}
-	e.eng.Impl().Workers = n
+	e.eng.Impl().SetWorkers(n)
 }
 
 // Close releases the engine's cached plans (device buffers, kernels).

@@ -360,10 +360,9 @@ func (p *Pool) newMember(idx int, d *device.Spec, db *tunedb.DB) (*member, error
 		if err != nil {
 			return nil, nil, "", err
 		}
-		im.Workers = p.opts.Workers
-		im.LaunchHook = hook
-		im.Obs = p.opts.Obs
-		im.Trace = p.opts.Trace
+		im.SetWorkers(p.opts.Workers)
+		im.SetLaunchHook(hook)
+		im.SetObservability(p.opts.Obs, p.opts.Trace)
 		return im, gemmimpl.NewEngine(im), how, nil
 	}
 	var err error
@@ -453,8 +452,8 @@ func (p *Pool) Kill(deviceID string) bool {
 // member (0 = GOMAXPROCS, 1 = serial).
 func (p *Pool) SetWorkers(n int) {
 	for _, mb := range p.members {
-		mb.im32.Workers = n
-		mb.im64.Workers = n
+		mb.im32.SetWorkers(n)
+		mb.im64.SetWorkers(n)
 	}
 }
 

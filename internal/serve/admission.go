@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oclgemm/internal/obs"
+)
+
+// admission is the server's two-layer load shedder.
+//
+// Layer 1 is a global queue-depth bound: when more requests are in the
+// building than maxQueue, new arrivals are shed immediately (429) —
+// queueing theory's answer to metastable overload: past the knee,
+// queueing helps nobody, so shed early and let clients back off.
+//
+// Layer 2 is a per-tenant token bucket denominated in Mflop: a tenant
+// accrues rate Mflop/s of capacity up to a burst ceiling, and each
+// request costs its arithmetic volume (2·m·n·k). A tenant that
+// overdrives its quota is shed with a Retry-After telling it exactly
+// when the bucket covers the rejected request, while other tenants'
+// buckets — and the shared engine behind them — stay unaffected.
+type admission struct {
+	rate, burst float64 // Mflop/s accrual, Mflop ceiling
+	maxQueue    int64
+
+	depth atomic.Int64
+
+	mu      sync.Mutex
+	tenants map[string]*bucket
+
+	shedQueue, shedQuota *obs.Counter
+	queueDepth           *obs.Gauge
+	reg                  *obs.Registry
+}
+
+type bucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	shed   *obs.Counter // serve.shed.quota{tenant=...}
+}
+
+func newAdmission(rate, burst float64, maxQueue int, reg *obs.Registry) *admission {
+	return &admission{
+		rate: rate, burst: burst, maxQueue: int64(maxQueue),
+		tenants:    make(map[string]*bucket),
+		shedQueue:  reg.Counter("serve.shed.queue"),
+		shedQuota:  reg.Counter("serve.shed.quota"),
+		queueDepth: reg.Gauge("serve.queue.depth"),
+		reg:        reg,
+	}
+}
+
+// enter reserves a queue slot, reporting false (shed) when the
+// building is full. Every successful enter must be paired with leave.
+func (ad *admission) enter() bool {
+	if d := ad.depth.Add(1); d > ad.maxQueue {
+		ad.depth.Add(-1)
+		ad.shedQueue.Inc()
+		return false
+	}
+	ad.queueDepth.Set(ad.depth.Load())
+	return true
+}
+
+func (ad *admission) leave() {
+	ad.queueDepth.Set(ad.depth.Add(-1))
+}
+
+// tenantBucket returns (creating on first use) the tenant's bucket.
+func (ad *admission) tenantBucket(tenant string) *bucket {
+	ad.mu.Lock()
+	defer ad.mu.Unlock()
+	b := ad.tenants[tenant]
+	if b == nil {
+		b = &bucket{
+			tokens: ad.burst,
+			shed:   ad.reg.Counter(obs.Label("serve.shed.quota", "tenant", tenant)),
+		}
+		ad.tenants[tenant] = b
+	}
+	return b
+}
+
+// admit charges mflop against the tenant's bucket. When the bucket
+// cannot cover the request, it reports false plus how long the tenant
+// must wait for the bucket to refill enough — the 429 Retry-After.
+func (ad *admission) admit(tenant string, mflop float64, now time.Time) (bool, time.Duration) {
+	b := ad.tenantBucket(tenant)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens = min(ad.burst, b.tokens+now.Sub(b.last).Seconds()*ad.rate)
+	}
+	b.last = now
+	if b.tokens >= mflop {
+		b.tokens -= mflop
+		return true, 0
+	}
+	b.shed.Inc()
+	ad.shedQuota.Inc()
+	need := mflop
+	if need > ad.burst {
+		need = ad.burst // a request bigger than the burst can at best wait for a full bucket
+	}
+	wait := time.Duration((need - b.tokens) / ad.rate * float64(time.Second))
+	if wait < 10*time.Millisecond {
+		wait = 10 * time.Millisecond
+	}
+	return false, wait
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"oclgemm/internal/gemmimpl"
+	"oclgemm/internal/matrix"
+	"oclgemm/internal/obs"
+)
+
+// errDraining rejects submissions after the batcher began draining.
+var errDraining = errors.New("serve: draining")
+
+// groupKey identifies the plan a request will execute on: precision
+// plus the padded problem shape (the plan-cache key). Requests with
+// one groupKey coalesce into one batch on one warm plan.
+type groupKey struct {
+	prec       matrix.Precision
+	mp, np, kp int
+}
+
+// batchResult is what a coalesced request hears back: its own error
+// and how many requests shared its batch.
+type batchResult struct {
+	err  error
+	size int
+}
+
+// pending is one request waiting in a coalescing group. Exactly one of
+// c64/c32 is set, matching the group's precision.
+type pending struct {
+	ctx  context.Context
+	done chan batchResult
+	c64  *gemmimpl.Call[float64]
+	c32  *gemmimpl.Call[float32]
+}
+
+// group is the open coalescing window for one key.
+type group struct {
+	reqs  []*pending
+	timer *time.Timer
+}
+
+// batcher coalesces concurrent same-shape requests into batches
+// executed back-to-back on the shared engine's warm plan for that
+// shape. The first request of a shape opens a window; requests
+// arriving within it join the batch; the window closing (or the batch
+// filling) fires one executor that runs every member with per-request
+// deadline isolation (gemmimpl.RunBatchEachCtx). Coalescing turns N
+// concurrent small requests into one plan claim + N back-to-back runs
+// — the steady-state serving shape CLTune/GEMMbench identify as where
+// tuned-kernel reuse pays.
+type batcher struct {
+	eng32, eng64 *gemmimpl.Engine
+	window       time.Duration
+	maxBatch     int
+
+	mu     sync.Mutex
+	closed bool
+	groups map[groupKey]*group
+	wg     sync.WaitGroup
+
+	batches   *obs.Counter
+	coalesced *obs.Counter // requests that shared a batch with >=1 other
+	batchSize *obs.Histogram
+}
+
+func newBatcher(eng32, eng64 *gemmimpl.Engine, window time.Duration, maxBatch int, reg *obs.Registry) *batcher {
+	return &batcher{
+		eng32: eng32, eng64: eng64,
+		window: window, maxBatch: maxBatch,
+		groups:    make(map[groupKey]*group),
+		batches:   reg.Counter("serve.batch.count"),
+		coalesced: reg.Counter("serve.batch.coalesced"),
+		batchSize: reg.Histogram("serve.batch.size", 1, 2, 4, 8, 16, 32, 64),
+	}
+}
+
+// submit enqueues a request into its shape's coalescing group and
+// returns the channel its result will arrive on.
+func (b *batcher) submit(key groupKey, p *pending) (<-chan batchResult, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, errDraining
+	}
+	g := b.groups[key]
+	if g == nil {
+		g = &group{}
+		b.groups[key] = g
+		g.timer = time.AfterFunc(b.window, func() { b.fire(key, g) })
+	}
+	g.reqs = append(g.reqs, p)
+	if len(g.reqs) >= b.maxBatch {
+		// Full batch: detach and execute now.
+		delete(b.groups, key)
+		g.timer.Stop()
+		reqs := g.reqs
+		b.wg.Add(1)
+		go b.exec(key, reqs)
+	}
+	b.mu.Unlock()
+	return p.done, nil
+}
+
+// fire closes a window: detach the group (if still open) and execute.
+func (b *batcher) fire(key groupKey, g *group) {
+	b.mu.Lock()
+	if b.groups[key] != g {
+		// Already detached by a full batch or by drain.
+		b.mu.Unlock()
+		return
+	}
+	delete(b.groups, key)
+	reqs := g.reqs
+	b.wg.Add(1)
+	b.mu.Unlock()
+	b.exec(key, reqs)
+}
+
+// exec runs one coalesced batch on the engine for its precision.
+func (b *batcher) exec(key groupKey, reqs []*pending) {
+	defer b.wg.Done()
+	b.batches.Inc()
+	b.batchSize.Observe(float64(len(reqs)))
+	if len(reqs) > 1 {
+		b.coalesced.Add(int64(len(reqs)))
+	}
+	ctxs := make([]context.Context, len(reqs))
+	for i, p := range reqs {
+		ctxs[i] = p.ctx
+	}
+	var errs []error
+	if key.prec == matrix.Double {
+		calls := make([]gemmimpl.Call[float64], len(reqs))
+		for i, p := range reqs {
+			calls[i] = *p.c64
+		}
+		errs = gemmimpl.RunBatchEachCtx(b.eng64, ctxs, calls)
+	} else {
+		calls := make([]gemmimpl.Call[float32], len(reqs))
+		for i, p := range reqs {
+			calls[i] = *p.c32
+		}
+		errs = gemmimpl.RunBatchEachCtx(b.eng32, ctxs, calls)
+	}
+	for i, p := range reqs {
+		p.done <- batchResult{err: errs[i], size: len(reqs)}
+	}
+}
+
+// drain flushes every open window immediately and waits for all
+// executors. Later submits fail with errDraining.
+func (b *batcher) drain() {
+	b.mu.Lock()
+	b.closed = true
+	for key, g := range b.groups {
+		delete(b.groups, key)
+		g.timer.Stop()
+		reqs := g.reqs
+		b.wg.Add(1)
+		go b.exec(key, reqs)
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+}

@@ -1,0 +1,482 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oclgemm/internal/blas"
+	"oclgemm/internal/device"
+	"oclgemm/internal/gemmimpl"
+	"oclgemm/internal/matrix"
+	"oclgemm/internal/obs"
+	"oclgemm/internal/sched"
+	"oclgemm/internal/tunedb"
+)
+
+// Config parameterizes a Server. The zero value of every field selects
+// a sensible default.
+type Config struct {
+	// Device is the single-device engine's processor ID (default
+	// "tahiti", the paper's fastest).
+	Device string
+	// DB supplies tuned kernels per (device, precision); nil selects
+	// the paper's Table II database with the nearest-device fallback.
+	DB *tunedb.DB
+	// Pool enables the multi-device path: requests of at least
+	// LargeFlops flops are partitioned across PoolDevices (nil = the
+	// paper's full Table I set) instead of coalescing onto the
+	// single-device engine.
+	Pool        bool
+	PoolDevices []*device.Spec
+	// LargeFlops is the pool-routing threshold in flops
+	// (0 = DefaultLargeFlops). Ignored without Pool.
+	LargeFlops float64
+	// Window is the coalescing window: how long the first small
+	// request of a shape waits for same-shape company before its batch
+	// fires (0 = DefaultWindow).
+	Window time.Duration
+	// MaxBatch fires a batch early once it holds this many requests
+	// (0 = DefaultMaxBatch).
+	MaxBatch int
+	// MaxQueue is the queue-depth shed bound: more than this many
+	// requests in the building sheds new arrivals with 429
+	// (0 = DefaultMaxQueue).
+	MaxQueue int
+	// QuotaMflopRate and QuotaMflopBurst set every tenant's token
+	// bucket: capacity accrues at Rate Mflop/s up to Burst Mflop, and
+	// each request costs its 2·m·n·k arithmetic volume in Mflop. Zero
+	// selects DefaultQuotaRate/DefaultQuotaBurst; a negative Rate
+	// disables quotas.
+	QuotaMflopRate  float64
+	QuotaMflopBurst float64
+	// DefaultDeadline bounds requests that carry no deadline_ms
+	// (0 = DefaultDeadline).
+	DefaultDeadline time.Duration
+	// MaxDim rejects requests with any dimension above it with 413
+	// (0 = DefaultMaxDim).
+	MaxDim int
+	// Workers bounds per-launch work-group parallelism on the engines
+	// (0 = GOMAXPROCS).
+	Workers int
+	// Metrics and Trace instrument the server and everything under it
+	// (engines, pool, clsim). Nil Metrics allocates a private registry
+	// so /metrics always works.
+	Metrics *obs.Registry
+	Trace   *obs.Tracer
+}
+
+// Defaults for Config's zero fields.
+const (
+	DefaultWindow     = 500 * time.Microsecond
+	DefaultMaxBatch   = 16
+	DefaultMaxQueue   = 256
+	DefaultQuotaRate  = 2000.0 // Mflop/s per tenant
+	DefaultQuotaBurst = 8000.0 // Mflop
+	DefaultDeadline   = 30 * time.Second
+	DefaultMaxDim     = 4096
+	// DefaultLargeFlops routes problems of 256³ and up to the pool.
+	DefaultLargeFlops = 2 * 256.0 * 256 * 256
+)
+
+// Server is the GEMM service: one concurrency-safe shared Engine per
+// precision behind a coalescing batcher, admission control in front,
+// and an optional device pool for large problems.
+type Server struct {
+	cfg  Config
+	reg  *obs.Registry
+	im32 *gemmimpl.Impl
+	im64 *gemmimpl.Impl
+	e32  *gemmimpl.Engine
+	e64  *gemmimpl.Engine
+	pool *sched.Pool
+	adm  *admission
+	bat  *batcher
+	mux  *http.ServeMux
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	requests *obs.Counter
+	pathEng  *obs.Counter
+	pathPool *obs.Counter
+}
+
+// New builds a server: the shared engines resolve their tuned kernels
+// from the database (Table II by default, nearest-device fallback) for
+// both precisions; the pool, when enabled, gets one engine pair per
+// member.
+func New(cfg Config) (*Server, error) {
+	if cfg.Device == "" {
+		cfg.Device = "tahiti"
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = DefaultMaxQueue
+	}
+	if cfg.QuotaMflopRate == 0 {
+		cfg.QuotaMflopRate = DefaultQuotaRate
+	}
+	if cfg.QuotaMflopBurst <= 0 {
+		cfg.QuotaMflopBurst = DefaultQuotaBurst
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = DefaultDeadline
+	}
+	if cfg.MaxDim <= 0 {
+		cfg.MaxDim = DefaultMaxDim
+	}
+	if cfg.LargeFlops <= 0 {
+		cfg.LargeFlops = DefaultLargeFlops
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	db := cfg.DB
+	if db == nil {
+		db = tunedb.PaperTableII()
+	}
+	dev, err := device.ByID(cfg.Device)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+
+	s := &Server{cfg: cfg, reg: cfg.Metrics}
+	build := func(prec matrix.Precision) (*gemmimpl.Impl, *gemmimpl.Engine, error) {
+		rec, _, err := tunedb.LookupOrFallback(db, dev, prec)
+		if err != nil {
+			return nil, nil, err
+		}
+		params, err := rec.Params()
+		if err != nil {
+			return nil, nil, err
+		}
+		im, err := gemmimpl.New(dev, params)
+		if err != nil {
+			return nil, nil, err
+		}
+		im.SetWorkers(cfg.Workers)
+		im.SetObservability(cfg.Metrics, cfg.Trace)
+		return im, gemmimpl.NewEngine(im), nil
+	}
+	if s.im32, s.e32, err = build(matrix.Single); err != nil {
+		return nil, fmt.Errorf("serve: building single-precision engine for %s: %w", cfg.Device, err)
+	}
+	if s.im64, s.e64, err = build(matrix.Double); err != nil {
+		s.e32.Close()
+		return nil, fmt.Errorf("serve: building double-precision engine for %s: %w", cfg.Device, err)
+	}
+	if cfg.Pool {
+		devs := cfg.PoolDevices
+		if len(devs) == 0 {
+			devs = device.All()
+		}
+		s.pool, err = sched.New(sched.Options{
+			Devices: devs, DB: db, Workers: cfg.Workers,
+			Obs: cfg.Metrics, Trace: cfg.Trace,
+		})
+		if err != nil {
+			s.e32.Close()
+			s.e64.Close()
+			return nil, fmt.Errorf("serve: building pool: %w", err)
+		}
+	}
+
+	s.adm = newAdmission(cfg.QuotaMflopRate, cfg.QuotaMflopBurst, cfg.MaxQueue, cfg.Metrics)
+	s.bat = newBatcher(s.e32, s.e64, cfg.Window, cfg.MaxBatch, cfg.Metrics)
+	s.requests = cfg.Metrics.Counter("serve.requests")
+	s.pathEng = cfg.Metrics.Counter("serve.path.engine")
+	s.pathPool = cfg.Metrics.Counter("serve.path.pool")
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/gemm", s.handleGEMM)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's registry (the /metrics source).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Drain gracefully stops the server: new requests are rejected with
+// 503, in-flight requests (including open coalescing windows) run to
+// completion, bounded by ctx. Call before Close.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		s.bat.drain()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain abandoned: %w", ctx.Err())
+	}
+}
+
+// Close releases the engines and the pool. Callers should Drain first.
+func (s *Server) Close() {
+	s.e32.Close()
+	s.e64.Close()
+	if s.pool != nil {
+		s.pool.Close()
+	}
+}
+
+// tenantOf extracts the request's tenant (X-Tenant header).
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// countResponse tallies serve.responses{code=...}.
+func (s *Server) countResponse(code int) {
+	s.reg.Counter(obs.Label("serve.responses", "code", strconv.Itoa(code))).Inc()
+}
+
+// fail writes a plain-JSON error response (no binary frame; clients
+// detect it by the HTTP status).
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.countResponse(code)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{"ok": false, "error": fmt.Sprintf(format, args...)})
+}
+
+// shed writes a 429 with the Retry-After hint.
+func (s *Server) shed(w http.ResponseWriter, retry time.Duration, reason string) {
+	w.Header().Set("Retry-After", strconv.FormatFloat(retry.Seconds(), 'f', 3, 64))
+	s.fail(w, http.StatusTooManyRequests, "overloaded: %s (retry after %v)", reason, retry)
+}
+
+// handleGEMM is POST /v1/gemm: admission, decode, execute (coalesced
+// engine batch or pool), respond with the framed result.
+func (s *Server) handleGEMM(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	s.requests.Inc()
+	tenant := tenantOf(r)
+	s.reg.Counter(obs.Label("serve.requests", "tenant", tenant)).Inc()
+
+	if !s.adm.enter() {
+		s.shed(w, 50*time.Millisecond, "queue full")
+		return
+	}
+	defer s.adm.leave()
+
+	var h Header
+	if err := readFrameHeader(r.Body, &h); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if h.M <= 0 || h.N <= 0 || h.K <= 0 {
+		s.fail(w, http.StatusBadRequest, "non-positive dimensions %dx%dx%d", h.M, h.N, h.K)
+		return
+	}
+	if h.M > s.cfg.MaxDim || h.N > s.cfg.MaxDim || h.K > s.cfg.MaxDim {
+		s.fail(w, http.StatusRequestEntityTooLarge, "dimensions %dx%dx%d exceed max %d", h.M, h.N, h.K, s.cfg.MaxDim)
+		return
+	}
+	prec, err := precisionOf(h.Precision)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	if s.cfg.QuotaMflopRate > 0 {
+		mflop := blas.FlopCount(h.M, h.N, h.K) / 1e6
+		if ok, retry := s.adm.admit(tenant, mflop, time.Now()); !ok {
+			s.shed(w, retry, fmt.Sprintf("tenant %q over quota", tenant))
+			return
+		}
+	}
+
+	deadline := s.cfg.DefaultDeadline
+	if h.DeadlineMS > 0 {
+		deadline = time.Duration(h.DeadlineMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	start := time.Now()
+	var resp *RespHeader
+	var payload []byte
+	if prec == matrix.Double {
+		resp, payload, err = runRequest[float64](s, ctx, &h, r.Body)
+	} else {
+		resp, payload, err = runRequest[float32](s, ctx, &h, r.Body)
+	}
+	if err != nil {
+		s.fail(w, statusOf(err), "%v", err)
+		return
+	}
+	elapsed := time.Since(start)
+	resp.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
+	s.reg.Histogram(obs.Label("serve.request.seconds", "tenant", tenant), obs.TimeBuckets...).Observe(elapsed.Seconds())
+	s.countResponse(http.StatusOK)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	// A write error here means the client went away mid-response;
+	// nothing more to do.
+	_ = writeFrame(w, resp, payload)
+}
+
+// statusOf maps an execution error to its HTTP status.
+func statusOf(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, sched.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for the logs only.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errPayload):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// runRequest decodes the typed operand payloads and executes the call
+// on the engine (coalesced) or the pool (large problems), returning
+// the response header and the encoded m×n result. A free function
+// because methods cannot be generic.
+func runRequest[T matrix.Scalar](s *Server, ctx context.Context, h *Header, body io.Reader) (*RespHeader, []byte, error) {
+	na, nb, nc := payloadSizes(h)
+	esz := elemSize[T]()
+	raw := make([]byte, (na+nb+nc)*esz)
+	if _, err := io.ReadFull(body, raw); err != nil {
+		return nil, nil, fmt.Errorf("%w: body holds fewer than the %d payload bytes the header promises: %v", errPayload, len(raw), err)
+	}
+	av, _ := bytesToFloats[T](raw[:na*esz], na)
+	bv, _ := bytesToFloats[T](raw[na*esz:(na+nb)*esz], nb)
+	ar, ac := opShape(h.M, h.K, h.TransA)
+	br, bc := opShape(h.K, h.N, h.TransB)
+	a := matrix.FromSlice(ar, ac, matrix.RowMajor, av)
+	b := matrix.FromSlice(br, bc, matrix.RowMajor, bv)
+	var c *matrix.Matrix[T]
+	if nc > 0 {
+		cv, _ := bytesToFloats[T](raw[(na+nb)*esz:], nc)
+		c = matrix.FromSlice(h.M, h.N, matrix.RowMajor, cv)
+	} else {
+		c = matrix.New[T](h.M, h.N, matrix.RowMajor)
+	}
+	ta, tb := blas.NoTrans, blas.NoTrans
+	if h.TransA {
+		ta = blas.Trans
+	}
+	if h.TransB {
+		tb = blas.Trans
+	}
+	alpha, beta := T(h.Alpha), T(h.Beta)
+
+	resp := &RespHeader{OK: true}
+	if s.pool != nil && blas.FlopCount(h.M, h.N, h.K) >= s.cfg.LargeFlops {
+		s.pathPool.Inc()
+		resp.Path = "pool"
+		if err := sched.RunCtx(ctx, s.pool, ta, tb, alpha, a, b, beta, c); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		s.pathEng.Inc()
+		resp.Path = "engine"
+		im, prec := s.im64, matrix.Double
+		if esz == 4 {
+			im, prec = s.im32, matrix.Single
+		}
+		mp, np, kp := im.PaddedDims(h.M, h.N, h.K)
+		p := &pending{ctx: ctx, done: make(chan batchResult, 1)}
+		switch cl := any(gemmimpl.Call[T]{TransA: ta, TransB: tb, Alpha: alpha, A: a, B: b, Beta: beta, C: c}).(type) {
+		case gemmimpl.Call[float64]:
+			p.c64 = &cl
+		case gemmimpl.Call[float32]:
+			p.c32 = &cl
+		}
+		done, err := s.bat.submit(groupKey{prec: prec, mp: mp, np: np, kp: kp}, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		res := <-done
+		if res.err != nil {
+			return nil, nil, res.err
+		}
+		resp.BatchSize = res.size
+	}
+
+	out := make([]T, h.M*h.N)
+	for i := 0; i < h.M; i++ {
+		for j := 0; j < h.N; j++ {
+			out[i*h.N+j] = c.At(i, j)
+		}
+	}
+	return resp, floatsToBytes(out), nil
+}
+
+// handleMetrics is GET /metrics: the registry snapshot as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.reg.Snapshot().WriteJSON(w)
+}
+
+// healthResponse is the GET /healthz body.
+type healthResponse struct {
+	Status string         `json:"status"` // "ok" or "draining"
+	Device string         `json:"device"`
+	Pool   []memberHealth `json:"pool,omitempty"`
+}
+
+type memberHealth struct {
+	Device      string `json:"device"`
+	State       string `json:"state"`
+	Killed      bool   `json:"killed,omitempty"`
+	ConsecFails int    `json:"consecutive_failures,omitempty"`
+	Recoveries  int    `json:"recoveries,omitempty"`
+}
+
+// handleHealthz is GET /healthz: 200 while serving (with the pool's
+// health state machine when a pool is attached), 503 once draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := healthResponse{Status: "ok", Device: s.cfg.Device}
+	code := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	if s.pool != nil {
+		for _, mh := range s.pool.Health() {
+			h.Pool = append(h.Pool, memberHealth{
+				Device: mh.Device, State: mh.State.String(), Killed: mh.Killed,
+				ConsecFails: mh.ConsecFails, Recoveries: mh.Recoveries,
+			})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(h)
+}

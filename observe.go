@@ -57,9 +57,8 @@ func NewBenchReport(mode string) *BenchReport { return obs.NewBenchReport(mode) 
 // per-phase pack/kernel/copy timings, plan-cache and pack-reuse
 // counters, and the underlying runtime's launch/buffer accounting.
 // Call it before the first Run: plans already cached keep the
-// instruments they were built with (Close first to rebuild).
+// instruments they were built with (Close first to rebuild). Safe to
+// call concurrently with Runs.
 func (g *GEMM) Observe(m *Metrics, t *Trace) {
-	im := g.eng.Impl()
-	im.Obs = m
-	im.Trace = t
+	g.eng.Impl().SetObservability(m, t)
 }
