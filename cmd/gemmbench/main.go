@@ -32,16 +32,29 @@
 //
 //	gemmbench -chaos
 //	gemmbench -chaos -chaosseed 7 -chaosruns 8
+//
+// The batched mode times one strided batch three ways — the warm
+// GEMMStridedBatched path, the loop-of-single-GEMMs baseline it
+// amortizes, and the full serve wire path (loopback HTTP to
+// /v1/gemm/batched) — verifies all three produce bit-identical slabs,
+// and appends the per-leg throughputs to the BENCH_gemm.json report:
+//
+//	gemmbench -batched 64x64x32x128
+//	gemmbench -batched 8x8x4x256 -bench-out BENCH_gemm.json
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -50,6 +63,7 @@ import (
 	"oclgemm/internal/experiments"
 	"oclgemm/internal/faultinject"
 	"oclgemm/internal/matrix"
+	"oclgemm/internal/serve"
 )
 
 // renderable is anything the harness can print.
@@ -82,8 +96,13 @@ func run(args []string, stdout io.Writer) error {
 	chaos := fs.Bool("chaos", false, "run the serve-path chaos smoke: pool DGEMMs under injected launch faults, a scripted device death and a later revival")
 	chaosSeed := fs.Int64("chaosseed", 1, "fault-injection seed for -chaos")
 	chaosRuns := fs.Int("chaosruns", 6, "number of pool runs for -chaos")
+	batched := fs.String("batched", "", "time a strided batch MxNxKxCOUNT on the batched, loop and serve paths (e.g. 64x64x32x128)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *batched != "" {
+		return runBatched(stdout, *batched, *benchOut)
 	}
 
 	if *chaos {
@@ -458,6 +477,222 @@ func runChaos(stdout io.Writer, seed int64, runs int) error {
 	}
 	if okRuns == 0 {
 		return fmt.Errorf("no run completed bit-identically under chaos")
+	}
+	return nil
+}
+
+// parseBatchSpec parses the -batched argument "MxNxKxCOUNT".
+func parseBatchSpec(spec string) (m, n, k, count int, err error) {
+	parts := strings.Split(strings.ToLower(spec), "x")
+	if len(parts) != 4 {
+		return 0, 0, 0, 0, fmt.Errorf("-batched wants MxNxKxCOUNT, got %q", spec)
+	}
+	vals := make([]int, 4)
+	for i, p := range parts {
+		v, convErr := strconv.Atoi(strings.TrimSpace(p))
+		if convErr != nil || v < 1 {
+			return 0, 0, 0, 0, fmt.Errorf("-batched wants four positive integers MxNxKxCOUNT, got %q", spec)
+		}
+		vals[i] = v
+	}
+	return vals[0], vals[1], vals[2], vals[3], nil
+}
+
+// runBatched times one strided batch (tahiti's Table II DGEMM kernel)
+// on the three execution paths the batched subsystem offers: the warm
+// GEMMStridedBatched call that amortizes one plan across every item,
+// the loop-of-single-GEMMs baseline it replaces, and the serve wire
+// path — framed slabs over loopback HTTP to /v1/gemm/batched. The
+// three C slabs must be bit-identical; the per-leg throughputs are
+// printed and, with -bench-out, appended to the BENCH_gemm.json report
+// as entries.
+func runBatched(stdout io.Writer, spec, benchOut string) error {
+	m, n, k, count, err := parseBatchSpec(spec)
+	if err != nil {
+		return err
+	}
+	p, ok, err := oclgemm.ParamsFor(oclgemm.PaperKernels(), "tahiti", oclgemm.Double)
+	if err != nil || !ok {
+		return fmt.Errorf("tahiti Table II kernel: ok=%v err=%v", ok, err)
+	}
+	d, err := oclgemm.DeviceByID("tahiti")
+	if err != nil {
+		return err
+	}
+	g, err := oclgemm.NewGEMM(d, p)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	reg := oclgemm.NewMetrics()
+	tr := oclgemm.NewTrace(0)
+	g.Observe(reg, tr)
+
+	rng := rand.New(rand.NewSource(1))
+	na, nb, nc := m*k, k*n, m*n
+	fill := func(sz int) []float64 {
+		out := make([]float64, sz)
+		for i := range out {
+			out[i] = rng.Float64()*2 - 1
+		}
+		return out
+	}
+	aSlab, bSlab := fill(na*count), fill(nb*count)
+	cBatched := make([]float64, nc*count)
+	sb := &oclgemm.StridedBatch[float64]{
+		M: m, N: n, K: k, Count: count, Alpha: 1,
+		Order: oclgemm.RowMajor,
+		A:     aSlab, StrideA: na,
+		B: bSlab, StrideB: nb,
+		C: cBatched, StrideC: nc,
+	}
+
+	const iters = 3
+	legFlops := 2 * float64(m) * float64(n) * float64(k) * float64(count)
+
+	// Leg 1: warm batched. The cold call builds the one shared plan;
+	// the timed iterations ride the free-listed kernel state.
+	if err := oclgemm.GEMMStridedBatched(g, sb); err != nil {
+		return fmt.Errorf("batched: %w", err)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := oclgemm.GEMMStridedBatched(g, sb); err != nil {
+			return fmt.Errorf("batched: %w", err)
+		}
+	}
+	batchedWall := time.Since(start).Seconds()
+
+	// Leg 2: the loop-of-single-GEMMs baseline on the same engine —
+	// also the correctness oracle the batched slab must match bit for
+	// bit. Beta is zero, so the loop is idempotent and the item views
+	// can alias the slabs across iterations.
+	cLoop := make([]float64, nc*count)
+	type item struct{ a, b, c *matrix.Matrix[float64] }
+	items := make([]item, count)
+	for i := range items {
+		items[i] = item{
+			a: matrix.FromSlice(m, k, matrix.RowMajor, aSlab[i*na:(i+1)*na]),
+			b: matrix.FromSlice(k, n, matrix.RowMajor, bSlab[i*nb:(i+1)*nb]),
+			c: matrix.FromSlice(m, n, matrix.RowMajor, cLoop[i*nc:(i+1)*nc]),
+		}
+	}
+	runLoop := func() error {
+		for _, it := range items {
+			if err := oclgemm.Run(g, oclgemm.NoTrans, oclgemm.NoTrans, 1.0, it.a, it.b, 0.0, it.c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := runLoop(); err != nil {
+		return fmt.Errorf("loop: %w", err)
+	}
+	for i, v := range cLoop {
+		if v != cBatched[i] {
+			return fmt.Errorf("slab element %d: loop %v, batched %v — not bit-identical", i, v, cBatched[i])
+		}
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if err := runLoop(); err != nil {
+			return fmt.Errorf("loop: %w", err)
+		}
+	}
+	loopWall := time.Since(start).Seconds()
+
+	// Leg 3: the serve wire path — one framed request per batch over
+	// loopback HTTP, every response decoded and bit-checked against the
+	// engine result.
+	srv, err := serve.New(serve.Config{Device: "tahiti", QuotaMflopRate: -1})
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	url := "http://" + ln.Addr().String() + "/v1/gemm/batched"
+	h := &serve.Header{Precision: "double", M: m, N: n, K: k, Alpha: 1, Count: count}
+	post := func() error {
+		var body bytes.Buffer
+		if err := serve.EncodeBatchedRequest(&body, h, aSlab, bSlab, nil); err != nil {
+			return err
+		}
+		resp, err := http.Post(url, "application/octet-stream", &body)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return fmt.Errorf("serve status %d: %s", resp.StatusCode, msg)
+		}
+		rh, got, err := serve.DecodeBatchedResponse[float64](resp.Body, m, n, count)
+		if err != nil {
+			return err
+		}
+		if !rh.OK {
+			return fmt.Errorf("serve: %s", rh.Error)
+		}
+		for i, v := range got {
+			if v != cBatched[i] {
+				return fmt.Errorf("serve slab element %d: %v, engine %v — not bit-identical", i, v, cBatched[i])
+			}
+		}
+		return nil
+	}
+	if err := post(); err != nil { // cold call builds the server's plan
+		return err
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if err := post(); err != nil {
+			return err
+		}
+	}
+	serveWall := time.Since(start).Seconds()
+
+	gf := func(wall float64) float64 { return float64(iters) * legFlops / wall / 1e9 }
+	entries := []oclgemm.BenchEntry{
+		{Name: "batched", Iters: iters, WallSeconds: batchedWall, GFlops: gf(batchedWall)},
+		{Name: "loop", Iters: iters, WallSeconds: loopWall, GFlops: gf(loopWall)},
+		{Name: "serve", Iters: iters, WallSeconds: serveWall, GFlops: gf(serveWall)},
+	}
+
+	fmt.Fprintf(stdout, "Strided batch of %d DGEMMs %dx%dx%d, tahiti Table II kernel (%d timed iterations per leg, all three slabs bit-identical):\n",
+		count, m, n, k, iters)
+	for _, e := range entries {
+		fmt.Fprintf(stdout, "  %-8s %10.6fs %10.3f GFlop/s simulated\n", e.Name, e.WallSeconds, e.GFlops)
+	}
+	fmt.Fprintf(stdout, "  batched/loop speedup %.2fx\n", loopWall/batchedWall)
+
+	if benchOut != "" {
+		rep := oclgemm.NewBenchReport("batched")
+		rep.Device = "tahiti"
+		rep.M, rep.N, rep.K, rep.Iters = m, n, k, iters
+		rep.Count = count
+		rep.WallSeconds = batchedWall
+		rep.GFlops = gf(batchedWall)
+		rep.Entries = entries
+		rep.Phases = oclgemm.PhaseBreakdown(tr.Snapshot())
+		rep.Metrics = reg.Snapshot()
+		f, err := os.Create(benchOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nbenchmark report written to %s\n", benchOut)
 	}
 	return nil
 }

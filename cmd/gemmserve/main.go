@@ -12,7 +12,7 @@
 //	          [-window 500us] [-max-batch 16] [-max-queue 256]
 //	          [-quota-rate 2000] [-quota-burst 8000] [-deadline 30s]
 //	          [-workers N] [-metrics-out metrics.json]
-//	gemmserve -selfcheck [-clients 64] [-requests 8] [-metrics-out ...]
+//	gemmserve -selfcheck [-clients 64] [-requests 8] [-batched 16] [-metrics-out ...]
 //
 // -selfcheck starts the server on a loopback listener, drives it with
 // the built-in multi-tenant load harness (verifying every result
@@ -67,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	clients := fs.Int("clients", 64, "selfcheck: concurrent clients")
 	requests := fs.Int("requests", 8, "selfcheck: requests per client")
 	seed := fs.Int64("seed", 1, "selfcheck: load harness seed")
+	batched := fs.Int("batched", 0, "selfcheck: mix in strided batches of this many items via /v1/gemm/batched")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,7 +109,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	defer dumpMetrics()
 
 	if *selfcheck {
-		return runSelfcheck(srv, *clients, *requests, *seed, stdout)
+		return runSelfcheck(srv, *clients, *requests, *seed, *batched, stdout)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -138,8 +139,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 // runSelfcheck serves on loopback and turns the load harness loose on
 // it: multi-tenant concurrent clients with one deliberate quota hog,
-// every result verified against the pure-Go BLAS reference.
-func runSelfcheck(srv *serve.Server, clients, requests int, seed int64, stdout io.Writer) error {
+// every result verified against the pure-Go BLAS reference. With
+// batched > 0 the shape mix adds strided batches of that many items
+// posted to /v1/gemm/batched, and the check also fails if none of them
+// came back verified.
+func runSelfcheck(srv *serve.Server, clients, requests int, seed int64, batched int, stdout io.Writer) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -148,6 +152,16 @@ func runSelfcheck(srv *serve.Server, clients, requests int, seed int64, stdout i
 	go func() { _ = hs.Serve(ln) }()
 	defer hs.Close()
 
+	var shapes []serve.LoadShape
+	if batched > 0 {
+		shapes = []serve.LoadShape{
+			{M: 8, N: 8, K: 4, Count: batched},
+			{M: 8, N: 8, K: 4},
+			{M: 16, N: 8, K: 8, Beta: 0.5, Count: batched},
+			{M: 8, N: 24, K: 4, Single: true, Count: batched},
+			{M: 13, N: 19, K: 11},
+		}
+	}
 	res, err := serve.RunLoad(serve.LoadOptions{
 		BaseURL:           "http://" + ln.Addr().String(),
 		Clients:           clients,
@@ -155,6 +169,7 @@ func runSelfcheck(srv *serve.Server, clients, requests int, seed int64, stdout i
 		Tenants:           []string{"alpha", "bravo", "charlie", "hog"},
 		HogTenant:         "hog",
 		Seed:              seed,
+		Shapes:            shapes,
 	})
 	if res != nil {
 		fmt.Fprintf(stdout, "gemmserve selfcheck: %v\n", res)
@@ -170,6 +185,9 @@ func runSelfcheck(srv *serve.Server, clients, requests int, seed int64, stdout i
 	}
 	if res.OK == 0 {
 		return fmt.Errorf("selfcheck: no request succeeded")
+	}
+	if batched > 0 && res.BatchedOK == 0 {
+		return fmt.Errorf("selfcheck: no strided batch came back verified")
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

@@ -3,6 +3,7 @@ package oclgemm
 import (
 	"context"
 
+	"oclgemm/internal/batch"
 	"oclgemm/internal/blas"
 	"oclgemm/internal/gemmimpl"
 	"oclgemm/internal/matrix"
@@ -123,6 +124,31 @@ func RunBatch[T Scalar](g *GEMM, calls []GEMMCall[T]) error {
 // it expired.
 func RunBatchCtx[T Scalar](ctx context.Context, g *GEMM, calls []GEMMCall[T]) error {
 	return gemmimpl.RunBatchCtx(ctx, g.eng, calls)
+}
+
+// StridedBatch describes a strided-batched GEMM: Count same-shape
+// multiplications C_i ← Alpha·op(A_i)·op(B_i) + Beta·C_i whose
+// operands sit at fixed element strides inside three contiguous slabs
+// (the cuBLAS gemmStridedBatched convention). StrideA or StrideB may
+// be 0 to broadcast one operand — e.g. one weight matrix against a
+// stream of inputs — in which case its pack runs once for the whole
+// batch. See GEMMStridedBatched and PoolGEMMStridedBatched.
+type StridedBatch[T Scalar] = batch.Strided[T]
+
+// GEMMStridedBatched executes the batch on g's engine: the plan for
+// the batch's padded shape is claimed once, every item runs
+// back-to-back on its warm device state, and warm batches allocate
+// nothing in the kernel phase (the work-group state is free-listed).
+// Results are bit-identical to looping Run over the items.
+func GEMMStridedBatched[T Scalar](g *GEMM, sb *StridedBatch[T]) error {
+	return gemmimpl.EngineRunStrided(g.eng, sb)
+}
+
+// GEMMStridedBatchedCtx is GEMMStridedBatched honoring a context: the
+// deadline is checked at every phase boundary of every item, and a
+// cancelled batch reports the index of the item it stopped at.
+func GEMMStridedBatchedCtx[T Scalar](ctx context.Context, g *GEMM, sb *StridedBatch[T]) error {
+	return gemmimpl.EngineRunStridedCtx(ctx, g.eng, sb)
 }
 
 // ModelGFlops returns the modeled performance of the full routine

@@ -309,6 +309,11 @@ func (pl *Plan[T]) Stats() PlanStats {
 	return pl.stats
 }
 
+// KernelStateAllocs returns how many work-group states the plan's GEMM
+// kernel has allocated (kernels.GEMM.StateAllocs): flat across warm
+// calls, which the batched zero-alloc tests assert.
+func (pl *Plan[T]) KernelStateAllocs() int64 { return pl.kern.StateAllocs() }
+
 // Close releases every device buffer the plan owns (the persistent
 // operand buffers and the staging pool). A closed plan rejects Run.
 func (pl *Plan[T]) Close() {
@@ -384,9 +389,22 @@ func (pl *Plan[T]) RunCtx(ctx context.Context, ta, tb blas.Transpose, alpha T, a
 	}
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
+	return pl.runLocked(ctx, ta, tb, alpha, a, b, beta, c, m, n)
+}
+
+// runLocked executes one validated call on the plan's device state.
+// Callers hold pl.mu and have checked the padded shape; the strided
+// batch path loops it under a single lock hold so the whole batch is
+// one plan claim.
+func (pl *Plan[T]) runLocked(ctx context.Context, ta, tb blas.Transpose, alpha T, a, b *matrix.Matrix[T], beta T, c *matrix.Matrix[T], m, n int) error {
 	if pl.closed {
 		return fmt.Errorf("gemmimpl: Run on closed plan")
 	}
+	k := a.Cols
+	if ta == blas.Trans {
+		k = a.Rows
+	}
+	np := pl.Np
 	pl.q.Workers = pl.im.Workers()
 	callStart := time.Now()
 	esz := int64(pl.im.Params.Precision.Size())
@@ -450,7 +468,7 @@ func (pl *Plan[T]) RunCtx(ctx context.Context, ta, tb blas.Transpose, alpha T, a
 		return ctxErr(err, "kernel")
 	}
 	pl.kern.SetScalars(alpha, beta)
-	err = pl.phase("gemm.kernel", pl.o.kernelSec, 0, int64(blas.FlopCount(m, n, k)), func() error {
+	err := pl.phase("gemm.kernel", pl.o.kernelSec, 0, int64(blas.FlopCount(m, n, k)), func() error {
 		return pl.q.RunLockstep(pl.kern, pl.kern.NDRange())
 	})
 	if err != nil {
@@ -589,6 +607,22 @@ func (pc *PlanCache[T]) RunCtx(ctx context.Context, ta, tb blas.Transpose, alpha
 	if err != nil {
 		return err
 	}
+	e, err := pc.acquire(ctx, m, n, k)
+	if err != nil {
+		return err
+	}
+	err = e.plan.RunCtx(ctx, ta, tb, alpha, a, b, beta, c)
+	pc.release(e)
+	return err
+}
+
+// acquire claims the cache entry for the padded shape of (m, n, k),
+// building the plan on a cold miss (outside the lock, singleflight).
+// On success the returned entry holds a built plan and one claim ref;
+// the caller must pc.release it. One acquire/release pair may span any
+// number of plan runs — the strided batch path claims once for a whole
+// batch.
+func (pc *PlanCache[T]) acquire(ctx context.Context, m, n, k int) (*cacheEntry[T], error) {
 	mp, np, kp := pc.im.padded(m, n, k)
 	key := planKey{mp, np, kp}
 
@@ -625,7 +659,7 @@ func (pc *PlanCache[T]) RunCtx(ctx context.Context, ta, tb blas.Transpose, alpha
 			}
 			pc.releaseLocked(e)
 			pc.mu.Unlock()
-			return perr
+			return nil, perr
 		}
 		pc.mu.Unlock()
 	} else {
@@ -636,18 +670,15 @@ func (pc *PlanCache[T]) RunCtx(ctx context.Context, ta, tb blas.Transpose, alpha
 		case <-e.ready:
 		case <-ctx.Done():
 			pc.release(e)
-			return ctxErr(ctx.Err(), "plan build")
+			return nil, ctxErr(ctx.Err(), "plan build")
 		}
 		if e.err != nil {
 			pc.release(e)
-			return e.err
+			return nil, e.err
 		}
 		pc.hit.Inc()
 	}
-
-	err = e.plan.RunCtx(ctx, ta, tb, alpha, a, b, beta, c)
-	pc.release(e)
-	return err
+	return e, nil
 }
 
 // touchLocked stamps the entry as most recently used.
@@ -801,7 +832,9 @@ func RunBatchCtx[T matrix.Scalar](ctx context.Context, e *Engine, calls []Call[T
 // different clients share the warm plan (and pack reuse) of a batch,
 // but one expired deadline or bad call must not fail its neighbors. A
 // nil or missing context means context.Background; ctxs may be shorter
-// than calls.
+// than calls. Each non-nil error names its batch index in the chain
+// (and still unwraps to the underlying cause), so an aggregated report
+// identifies which call failed.
 func RunBatchEachCtx[T matrix.Scalar](e *Engine, ctxs []context.Context, calls []Call[T]) []error {
 	errs := make([]error, len(calls))
 	for i, cl := range calls {
@@ -809,7 +842,9 @@ func RunBatchEachCtx[T matrix.Scalar](e *Engine, ctxs []context.Context, calls [
 		if i < len(ctxs) && ctxs[i] != nil {
 			ctx = ctxs[i]
 		}
-		errs[i] = EngineRunCtx(ctx, e, cl.TransA, cl.TransB, cl.Alpha, cl.A, cl.B, cl.Beta, cl.C)
+		if err := EngineRunCtx(ctx, e, cl.TransA, cl.TransB, cl.Alpha, cl.A, cl.B, cl.Beta, cl.C); err != nil {
+			errs[i] = fmt.Errorf("batch call %d: %w", i, err)
+		}
 	}
 	return errs
 }

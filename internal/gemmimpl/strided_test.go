@@ -1,0 +1,177 @@
+package gemmimpl
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"oclgemm/internal/batch"
+	"oclgemm/internal/blas"
+	"oclgemm/internal/matrix"
+	"oclgemm/internal/obs"
+)
+
+// randStrided builds a count-item strided batch of small row-major
+// matrices with contiguous slabs.
+func randStrided(m, n, k, count int, beta float64, seed int64) *batch.Strided[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	fill := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = rng.Float64()*2 - 1
+		}
+		return out
+	}
+	return &batch.Strided[float64]{
+		M: m, N: n, K: k, Count: count,
+		Alpha: 1.25, Beta: beta,
+		Order: matrix.RowMajor,
+		A:     fill(m * k * count), StrideA: m * k,
+		B: fill(k * n * count), StrideB: k * n,
+		C: fill(m * n * count), StrideC: m * n,
+		TransA: blas.NoTrans, TransB: blas.NoTrans,
+	}
+}
+
+// TestRunStridedMatchesLoop checks the plan-level strided path against
+// looping RunCtx on the same plan (bit-identical, same plan both ways).
+func TestRunStridedMatchesLoop(t *testing.T) {
+	im := testImpl(t)
+	const m, n, k, count = 9, 7, 5, 8
+	sb := randStrided(m, n, k, count, 0.5, 1)
+	oracle := randStrided(m, n, k, count, 0.5, 1) // same seed: same data
+
+	pl, err := NewPlan[float64](im, m, n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+	items, err := oracle.Items()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range items {
+		it := &items[i]
+		if err := pl.Run(oracle.TransA, oracle.TransB, oracle.Alpha, it.A, it.B, oracle.Beta, it.C); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pl.RunStrided(sb); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range sb.C {
+		if v != oracle.C[i] {
+			t.Fatalf("slab element %d: strided %v, loop %v", i, v, oracle.C[i])
+		}
+	}
+}
+
+// TestStridedBatchOnePlanZeroAllocs is the ISSUE's amortization
+// acceptance gate: a warm batched call of ≥64 small matrices claims
+// exactly one plan (one cold build, everything after a cache hit) and
+// its kernel phase allocates nothing — work-group state comes off the
+// free list, not the heap.
+func TestStridedBatchOnePlanZeroAllocs(t *testing.T) {
+	im := testImpl(t)
+	im.SetWorkers(1) // deterministic allocation accounting
+	reg := obs.NewRegistry()
+	im.SetObservability(reg, nil)
+	eng := NewEngine(im)
+	defer eng.Close()
+	const m, n, k, count = 8, 8, 4, 64
+	sb := randStrided(m, n, k, count, 0, 2)
+
+	// Cold call: exactly one plan build for the whole 64-item batch.
+	if err := EngineRunStrided(eng, sb); err != nil {
+		t.Fatal(err)
+	}
+	cache := eng.Cache64()
+	if got := cache.Len(); got != 1 {
+		t.Fatalf("after one %d-item batch the cache holds %d plans, want 1", count, got)
+	}
+	snap := reg.Snapshot()
+	if miss := snap.Counters["gemm.plan.miss"]; miss != 1 {
+		t.Fatalf("batch of %d built %d plans, want exactly 1", count, miss)
+	}
+
+	// Warm call: the free-listed kernel state must be reused, not
+	// reallocated...
+	e, err := cache.acquire(context.Background(), m, n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := e.plan
+	defer cache.release(e)
+	before := pl.KernelStateAllocs()
+	for i := 0; i < 3; i++ {
+		if err := EngineRunStrided(eng, sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := pl.KernelStateAllocs(); after != before {
+		t.Errorf("3 warm batches allocated %d new kernel states, want 0", after-before)
+	}
+	// ...and the warm kernel phase itself performs zero heap
+	// allocations per launch.
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := pl.q.RunLockstep(pl.kern, pl.kern.NDRange()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm batched kernel phase allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestRunStridedCtxReportsItemIndex pins the error chain: a batch
+// cancelled mid-flight names the item it stopped at.
+func TestRunStridedCtxReportsItemIndex(t *testing.T) {
+	im := testImpl(t)
+	eng := NewEngine(im)
+	defer eng.Close()
+	sb := randStrided(6, 6, 4, 4, 0, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := EngineRunStridedCtx(ctx, eng, sb)
+	if err == nil {
+		t.Fatal("cancelled batch returned nil")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if want := "batch item 0"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not name the item (%q)", err, want)
+	}
+}
+
+// TestRunBatchEachCtxErrorNamesIndex pins the satellite fix: a failed
+// call in RunBatchEachCtx reports its batch index in the error chain.
+func TestRunBatchEachCtxErrorNamesIndex(t *testing.T) {
+	im := testImpl(t)
+	eng := NewEngine(im)
+	defer eng.Close()
+	good := func(seed int64) Call[float64] {
+		a := matrix.New[float64](6, 4, matrix.RowMajor)
+		b := matrix.New[float64](4, 6, matrix.RowMajor)
+		c := matrix.New[float64](6, 6, matrix.RowMajor)
+		a.FillRandom(rand.New(rand.NewSource(seed)))
+		b.FillRandom(rand.New(rand.NewSource(seed + 1)))
+		return Call[float64]{TransA: blas.NoTrans, TransB: blas.NoTrans, Alpha: 1, A: a, B: b, C: c}
+	}
+	calls := []Call[float64]{good(1), good(2), good(3)}
+	// Poison call 1 with mismatched dimensions.
+	calls[1].B = matrix.New[float64](5, 6, matrix.RowMajor)
+	ctxs := []context.Context{context.Background(), context.Background(), context.Background()}
+	errs := RunBatchEachCtx(eng, ctxs, calls)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("healthy calls failed: %v / %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Fatal("poisoned call succeeded")
+	}
+	if want := "batch call 1"; !strings.Contains(errs[1].Error(), want) {
+		t.Errorf("error %q does not name its index (%q)", errs[1], want)
+	}
+}

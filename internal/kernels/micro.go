@@ -92,6 +92,20 @@ func (pg *panelGeom) rowStart(r, blk int) int {
 type statePool[T matrix.Scalar] struct {
 	mu   sync.Mutex
 	free []*state[T]
+	// allocs counts states built fresh (free list empty); a warm launch
+	// must not move it — the batched zero-alloc tests assert on it.
+	allocs int64
+}
+
+// StateAllocs returns how many work-group states the kernel has
+// allocated across its lifetime. Warm launches recycle states through
+// the free list, so the count stays flat once the kernel has run at
+// its steady-state parallelism — the observable half of the
+// zero-allocation warm-path guarantee.
+func (g *GEMM[T]) StateAllocs() int64 {
+	g.pool.mu.Lock()
+	defer g.pool.mu.Unlock()
+	return g.pool.allocs
 }
 
 // getState returns a ready work-group state: local-memory capacity is
@@ -111,6 +125,8 @@ func (g *GEMM[T]) getState(run *clsim.GroupRun) *state[T] {
 	if n := len(g.pool.free); n > 0 {
 		s = g.pool.free[n-1]
 		g.pool.free = g.pool.free[:n-1]
+	} else {
+		g.pool.allocs++
 	}
 	g.pool.mu.Unlock()
 	if s == nil {

@@ -88,6 +88,23 @@ type BenchReport struct {
 	GFlops  float64  `json:"gflops"`
 	Phases  []Phase  `json:"phases"`
 	Metrics Snapshot `json:"metrics"`
+
+	// Count and Entries extend the schema additively for batched runs:
+	// Count is the strided-batch size and Entries holds one throughput
+	// row per execution leg (warm batched, loop of single GEMMs, serve
+	// path). Absent on single/pool reports, so v1 readers are unaffected.
+	Count   int          `json:"count,omitempty"`
+	Entries []BenchEntry `json:"entries,omitempty"`
+}
+
+// BenchEntry is one named throughput measurement inside a BenchReport:
+// a leg of a comparative run, e.g. the batched path versus the
+// loop-of-GEMMs baseline it must beat.
+type BenchEntry struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	WallSeconds float64 `json:"wall_seconds"`
+	GFlops      float64 `json:"gflops"`
 }
 
 // NewBenchReport stamps a report with the schema version and the

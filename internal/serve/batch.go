@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"oclgemm/internal/batch"
 	"oclgemm/internal/gemmimpl"
 	"oclgemm/internal/matrix"
 	"oclgemm/internal/obs"
@@ -29,13 +30,16 @@ type batchResult struct {
 	size int
 }
 
-// pending is one request waiting in a coalescing group. Exactly one of
-// c64/c32 is set, matching the group's precision.
+// pending is one request waiting in a coalescing group: a single call
+// (c64/c32) or a whole strided batch (sb64/sb32). Exactly one of the
+// four is set, matching the group's precision.
 type pending struct {
 	ctx  context.Context
 	done chan batchResult
 	c64  *gemmimpl.Call[float64]
 	c32  *gemmimpl.Call[float32]
+	sb64 *batch.Strided[float64]
+	sb32 *batch.Strided[float32]
 }
 
 // group is the open coalescing window for one key.
@@ -121,7 +125,11 @@ func (b *batcher) fire(key groupKey, g *group) {
 	b.exec(key, reqs)
 }
 
-// exec runs one coalesced batch on the engine for its precision.
+// exec runs one coalesced batch on the engine for its precision:
+// single calls back-to-back with per-request deadline isolation, then
+// any strided-batch pendings that coalesced into the same window (each
+// is one engine call over its whole batch). Everything shares the
+// window's warm plan.
 func (b *batcher) exec(key groupKey, reqs []*pending) {
 	defer b.wg.Done()
 	b.batches.Inc()
@@ -129,26 +137,46 @@ func (b *batcher) exec(key groupKey, reqs []*pending) {
 	if len(reqs) > 1 {
 		b.coalesced.Add(int64(len(reqs)))
 	}
-	ctxs := make([]context.Context, len(reqs))
-	for i, p := range reqs {
-		ctxs[i] = p.ctx
-	}
-	var errs []error
-	if key.prec == matrix.Double {
-		calls := make([]gemmimpl.Call[float64], len(reqs))
-		for i, p := range reqs {
-			calls[i] = *p.c64
+	var singles, strided []*pending
+	for _, p := range reqs {
+		if p.sb64 != nil || p.sb32 != nil {
+			strided = append(strided, p)
+		} else {
+			singles = append(singles, p)
 		}
-		errs = gemmimpl.RunBatchEachCtx(b.eng64, ctxs, calls)
-	} else {
-		calls := make([]gemmimpl.Call[float32], len(reqs))
-		for i, p := range reqs {
-			calls[i] = *p.c32
-		}
-		errs = gemmimpl.RunBatchEachCtx(b.eng32, ctxs, calls)
 	}
-	for i, p := range reqs {
-		p.done <- batchResult{err: errs[i], size: len(reqs)}
+	size := len(reqs)
+	if len(singles) > 0 {
+		ctxs := make([]context.Context, len(singles))
+		for i, p := range singles {
+			ctxs[i] = p.ctx
+		}
+		var errs []error
+		if key.prec == matrix.Double {
+			calls := make([]gemmimpl.Call[float64], len(singles))
+			for i, p := range singles {
+				calls[i] = *p.c64
+			}
+			errs = gemmimpl.RunBatchEachCtx(b.eng64, ctxs, calls)
+		} else {
+			calls := make([]gemmimpl.Call[float32], len(singles))
+			for i, p := range singles {
+				calls[i] = *p.c32
+			}
+			errs = gemmimpl.RunBatchEachCtx(b.eng32, ctxs, calls)
+		}
+		for i, p := range singles {
+			p.done <- batchResult{err: errs[i], size: size}
+		}
+	}
+	for _, p := range strided {
+		var err error
+		if p.sb64 != nil {
+			err = gemmimpl.EngineRunStridedCtx(p.ctx, b.eng64, p.sb64)
+		} else {
+			err = gemmimpl.EngineRunStridedCtx(p.ctx, b.eng32, p.sb32)
+		}
+		p.done <- batchResult{err: err, size: size}
 	}
 }
 

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"oclgemm/internal/batch"
+	"oclgemm/internal/blas"
+	"oclgemm/internal/matrix"
+	"oclgemm/internal/obs"
+	"oclgemm/internal/sched"
+)
+
+// maxWireCount bounds a /v1/gemm/batched item count (with MaxDim it
+// also bounds the slab bytes one request may make the server buffer).
+const maxWireCount = 4096
+
+// handleBatched is POST /v1/gemm/batched: one request carries a whole
+// strided batch of same-shape multiplications. Admission charges the
+// tenant the full batch's Mflop volume up front; one coalescing-window
+// submission (or one pool call, for large total volume) then executes
+// every item on a single warm plan claim.
+func (s *Server) handleBatched(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	s.requests.Inc()
+	tenant := tenantOf(r)
+	s.reg.Counter(obs.Label("serve.requests", "tenant", tenant)).Inc()
+
+	if !s.adm.enter() {
+		s.shed(w, 50*time.Millisecond, "queue full")
+		return
+	}
+	defer s.adm.leave()
+
+	var h Header
+	if err := readFrameHeader(r.Body, &h); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if h.Count <= 0 {
+		s.fail(w, http.StatusBadRequest, "batched request needs a positive count, got %d", h.Count)
+		return
+	}
+	if h.Count > maxWireCount {
+		s.fail(w, http.StatusRequestEntityTooLarge, "count %d exceeds max %d", h.Count, maxWireCount)
+		return
+	}
+	if h.M <= 0 || h.N <= 0 || h.K <= 0 {
+		s.fail(w, http.StatusBadRequest, "non-positive dimensions %dx%dx%d", h.M, h.N, h.K)
+		return
+	}
+	if h.M > s.cfg.MaxDim || h.N > s.cfg.MaxDim || h.K > s.cfg.MaxDim {
+		s.fail(w, http.StatusRequestEntityTooLarge, "dimensions %dx%dx%d exceed max %d", h.M, h.N, h.K, s.cfg.MaxDim)
+		return
+	}
+	prec, err := precisionOf(h.Precision)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Quota: the whole batch's arithmetic volume, not one item's — a
+	// tenant cannot smuggle count× the work past its token bucket by
+	// folding requests into batches.
+	if s.cfg.QuotaMflopRate > 0 {
+		mflop := blas.FlopCount(h.M, h.N, h.K) * float64(h.Count) / 1e6
+		if ok, retry := s.adm.admit(tenant, mflop, time.Now()); !ok {
+			s.shed(w, retry, fmt.Sprintf("tenant %q over quota", tenant))
+			return
+		}
+	}
+
+	deadline := s.cfg.DefaultDeadline
+	if h.DeadlineMS > 0 {
+		deadline = time.Duration(h.DeadlineMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	start := time.Now()
+	var resp *RespHeader
+	var payload []byte
+	if prec == matrix.Double {
+		resp, payload, err = runBatchedRequest[float64](s, ctx, &h, r.Body)
+	} else {
+		resp, payload, err = runBatchedRequest[float32](s, ctx, &h, r.Body)
+	}
+	if err != nil {
+		s.fail(w, statusOf(err), "%v", err)
+		return
+	}
+	elapsed := time.Since(start)
+	resp.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
+	s.reg.Histogram(obs.Label("serve.request.seconds", "tenant", tenant), obs.TimeBuckets...).Observe(elapsed.Seconds())
+	s.countResponse(http.StatusOK)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_ = writeFrame(w, resp, payload)
+}
+
+// runBatchedRequest reads the operand slabs, builds the strided
+// descriptor, and executes it: across the pool when the batch's total
+// volume clears the large-problem threshold, otherwise as ONE pending
+// in the shape's coalescing window — the whole batch rides a single
+// plan claim, alongside whatever single requests share the window.
+func runBatchedRequest[T matrix.Scalar](s *Server, ctx context.Context, h *Header, body io.Reader) (*RespHeader, []byte, error) {
+	na, nb, nc := payloadSizes(h)
+	esz := elemSize[T]()
+	raw := make([]byte, (na+nb+nc)*h.Count*esz)
+	if _, err := io.ReadFull(body, raw); err != nil {
+		return nil, nil, fmt.Errorf("%w: body holds fewer than the %d payload bytes the header promises: %v", errPayload, len(raw), err)
+	}
+	an, bn := na*h.Count, nb*h.Count
+	av, _ := bytesToFloats[T](raw[:an*esz], an)
+	bv, _ := bytesToFloats[T](raw[an*esz:(an+bn)*esz], bn)
+	var cv []T
+	if nc > 0 {
+		cv, _ = bytesToFloats[T](raw[(an+bn)*esz:], nc*h.Count)
+	} else {
+		cv = make([]T, h.M*h.N*h.Count)
+	}
+	ta, tb := blas.NoTrans, blas.NoTrans
+	if h.TransA {
+		ta = blas.Trans
+	}
+	if h.TransB {
+		tb = blas.Trans
+	}
+	sb := &batch.Strided[T]{
+		TransA: ta, TransB: tb,
+		Alpha: T(h.Alpha), Beta: T(h.Beta),
+		M: h.M, N: h.N, K: h.K,
+		Order: matrix.RowMajor,
+		A:     av, StrideA: na,
+		B: bv, StrideB: nb,
+		C: cv, StrideC: h.M * h.N,
+		Count: h.Count,
+	}
+
+	resp := &RespHeader{OK: true, Count: h.Count}
+	if s.pool != nil && sb.FlopCount() >= s.cfg.LargeFlops {
+		s.pathPool.Inc()
+		resp.Path = "pool"
+		if err := sched.RunStridedBatchedCtx(ctx, s.pool, sb); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		s.pathEng.Inc()
+		resp.Path = "engine"
+		im := s.im64
+		if esz == 4 {
+			im = s.im32
+		}
+		mp, np, kp := im.PaddedDims(h.M, h.N, h.K)
+		p := &pending{ctx: ctx, done: make(chan batchResult, 1)}
+		switch v := any(sb).(type) {
+		case *batch.Strided[float64]:
+			p.sb64 = v
+		case *batch.Strided[float32]:
+			p.sb32 = v
+		}
+		done, err := s.bat.submit(groupKey{prec: precOf[T](), mp: mp, np: np, kp: kp}, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		res := <-done
+		if res.err != nil {
+			return nil, nil, res.err
+		}
+		resp.BatchSize = res.size
+	}
+	return resp, floatsToBytes(cv), nil
+}
+
+// precOf maps T to its matrix.Precision.
+func precOf[T matrix.Scalar]() matrix.Precision {
+	if elemSize[T]() == 4 {
+		return matrix.Single
+	}
+	return matrix.Double
+}

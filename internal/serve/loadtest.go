@@ -24,6 +24,9 @@ type LoadShape struct {
 	// Beta selects C ← αAB + βC with a client-supplied C (0 = no C
 	// payload).
 	Beta float64
+	// Count > 1 sends the shape as one strided batch of Count items to
+	// /v1/gemm/batched (0 or 1 = a single /v1/gemm request).
+	Count int
 }
 
 // LoadOptions configures RunLoad.
@@ -57,6 +60,7 @@ type LoadResult struct {
 	Errors    int64 // transport failures or unexpected statuses
 	Wrong     int64 // 200s whose result did not verify
 	Coalesced int64 // 200s that shared a batch with another request
+	BatchedOK int64 // verified 200s that were strided-batched requests
 	// ShedByTenant counts 429s per tenant.
 	ShedByTenant map[string]int64
 	// OKByTenant counts 200s per tenant.
@@ -67,8 +71,8 @@ type LoadResult struct {
 }
 
 func (r *LoadResult) String() string {
-	return fmt.Sprintf("requests=%d ok=%d shed=%d errors=%d wrong=%d coalesced=%d max_honest_latency=%v",
-		r.Requests, r.OK, r.Shed, r.Errors, r.Wrong, r.Coalesced, r.MaxHonestLatency)
+	return fmt.Sprintf("requests=%d ok=%d shed=%d errors=%d wrong=%d coalesced=%d batched=%d max_honest_latency=%v",
+		r.Requests, r.OK, r.Shed, r.Errors, r.Wrong, r.Coalesced, r.BatchedOK, r.MaxHonestLatency)
 }
 
 // defaultShapes is the honest mix: four shapes, both precisions.
@@ -108,6 +112,7 @@ func RunLoad(opts LoadOptions) (*LoadResult, error) {
 		shapes = defaultShapes()
 	}
 	url := strings.TrimRight(opts.BaseURL, "/") + "/v1/gemm"
+	urlBatched := url + "/batched"
 	client := &http.Client{Timeout: 60 * time.Second}
 
 	res := &LoadResult{
@@ -133,9 +138,14 @@ func RunLoad(opts LoadOptions) (*LoadResult, error) {
 				start := time.Now()
 				var ok, shed, wrong, coalesced bool
 				var err error
-				if sh.Single {
+				switch {
+				case sh.Count > 1 && sh.Single:
+					ok, shed, wrong, coalesced, err = doBatchedRequest[float32](client, urlBatched, tenant, sh, rng)
+				case sh.Count > 1:
+					ok, shed, wrong, coalesced, err = doBatchedRequest[float64](client, urlBatched, tenant, sh, rng)
+				case sh.Single:
 					ok, shed, wrong, coalesced, err = doRequest[float32](client, url, tenant, sh, rng)
-				} else {
+				default:
 					ok, shed, wrong, coalesced, err = doRequest[float64](client, url, tenant, sh, rng)
 				}
 				atomic.AddInt64(&res.Requests, 1)
@@ -155,6 +165,8 @@ func RunLoad(opts LoadOptions) (*LoadResult, error) {
 					}
 					if wrong {
 						atomic.AddInt64(&res.Wrong, 1)
+					} else if sh.Count > 1 {
+						atomic.AddInt64(&res.BatchedOK, 1)
 					}
 					mu.Lock()
 					res.OKByTenant[tenant]++
@@ -231,6 +243,75 @@ func doRequest[T matrix.Scalar](client *http.Client, url, tenant string, sh Load
 	}
 	blas.GEMM(blas.NoTrans, blas.NoTrans, T(h.Alpha), am, bm, T(h.Beta), cm)
 	wrong = !verify(got, cm, sh.K)
+	return true, false, wrong, rh.BatchSize > 1, nil
+}
+
+// doBatchedRequest sends one strided-batched request to
+// /v1/gemm/batched and verifies every item of the result slab against
+// the pure-Go reference. Returns (ok200, shed429, wrong, coalesced,
+// transportErr) like doRequest.
+func doBatchedRequest[T matrix.Scalar](client *http.Client, url, tenant string, sh LoadShape, rng *rand.Rand) (ok, shed, wrong, coalesced bool, err error) {
+	h := &Header{M: sh.M, N: sh.N, K: sh.K, Alpha: 1.25, Beta: sh.Beta, Count: sh.Count}
+	if elemSize[T]() == 4 {
+		h.Precision = "single"
+	} else {
+		h.Precision = "double"
+	}
+	na, nb, nc := payloadSizes(h)
+	a := randSlice[T](na*sh.Count, rng)
+	b := randSlice[T](nb*sh.Count, rng)
+	c := randSlice[T](nc*sh.Count, rng)
+
+	var body bytes.Buffer
+	if err := EncodeBatchedRequest(&body, h, a, b, c); err != nil {
+		return false, false, false, false, err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, &body)
+	if err != nil {
+		return false, false, false, false, err
+	}
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, false, false, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return false, true, false, false, nil
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, false, false, false, fmt.Errorf("unexpected status %d: %s", resp.StatusCode, msg)
+	}
+	rh, got, err := DecodeBatchedResponse[T](resp.Body, sh.M, sh.N, sh.Count)
+	if err != nil {
+		return false, false, false, false, err
+	}
+	if !rh.OK {
+		return false, false, false, false, fmt.Errorf("200 with ok=false: %s", rh.Error)
+	}
+	if rh.Count != sh.Count {
+		return false, false, false, false, fmt.Errorf("response count %d, want %d", rh.Count, sh.Count)
+	}
+
+	// Reference: every item through the pure-Go oracle.
+	for i := 0; i < sh.Count; i++ {
+		am := matrix.FromSlice(sh.M, sh.K, matrix.RowMajor, a[i*na:(i+1)*na])
+		bm := matrix.FromSlice(sh.K, sh.N, matrix.RowMajor, b[i*nb:(i+1)*nb])
+		var cm *matrix.Matrix[T]
+		if nc > 0 {
+			cm = matrix.FromSlice(sh.M, sh.N, matrix.RowMajor, append([]T(nil), c[i*nc:(i+1)*nc]...))
+		} else {
+			cm = matrix.New[T](sh.M, sh.N, matrix.RowMajor)
+		}
+		blas.GEMM(blas.NoTrans, blas.NoTrans, T(h.Alpha), am, bm, T(h.Beta), cm)
+		if !verify(got[i*sh.M*sh.N:(i+1)*sh.M*sh.N], cm, sh.K) {
+			wrong = true
+			break
+		}
+	}
 	return true, false, wrong, rh.BatchSize > 1, nil
 }
 

@@ -50,6 +50,12 @@ type Header struct {
 	// DeadlineMS is the per-request execution deadline in milliseconds
 	// (0 = the server default). Expired requests return 504.
 	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// Count, on POST /v1/gemm/batched, is the number of same-shape
+	// multiplications in the strided batch: the payloads become
+	// contiguous slabs of Count operands each (A slab, B slab, and a C
+	// slab when beta != 0), and the response carries the Count·m·n
+	// result slab. POST /v1/gemm ignores it.
+	Count int `json:"count,omitempty"`
 }
 
 // RespHeader is the JSON control block of a response.
@@ -64,6 +70,9 @@ type RespHeader struct {
 	// BatchSize is how many requests shared the coalesced batch this
 	// one executed in (1 = alone; engine path only).
 	BatchSize int `json:"batch_size,omitempty"`
+	// Count echoes the strided-batch item count of a /v1/gemm/batched
+	// response (the result payload holds Count·m·n elements).
+	Count int `json:"count,omitempty"`
 	// ElapsedMS is the server-side execution time in milliseconds.
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
 }
@@ -217,6 +226,35 @@ func EncodeRequest[T matrix.Scalar](w io.Writer, h *Header, a, b, c []T) error {
 		payloads = append(payloads, floatsToBytes(c))
 	}
 	return writeFrame(w, h, payloads...)
+}
+
+// EncodeBatchedRequest frames one strided-batched request for POST
+// /v1/gemm/batched: a and b are contiguous slabs of h.Count operands
+// each (and c likewise when h.Beta != 0), row-major in their stored
+// per-item shapes.
+func EncodeBatchedRequest[T matrix.Scalar](w io.Writer, h *Header, a, b, c []T) error {
+	if h.Count <= 0 {
+		return fmt.Errorf("batched request needs a positive count, got %d", h.Count)
+	}
+	na, nb, nc := payloadSizes(h)
+	na, nb, nc = na*h.Count, nb*h.Count, nc*h.Count
+	if len(a) != na || len(b) != nb {
+		return fmt.Errorf("operand slab sizes %d/%d, want %d/%d", len(a), len(b), na, nb)
+	}
+	if len(c) != nc {
+		return fmt.Errorf("C slab %d elements, want %d (beta=%v, count=%d)", len(c), nc, h.Beta, h.Count)
+	}
+	payloads := [][]byte{floatsToBytes(a), floatsToBytes(b)}
+	if nc > 0 {
+		payloads = append(payloads, floatsToBytes(c))
+	}
+	return writeFrame(w, h, payloads...)
+}
+
+// DecodeBatchedResponse reads a framed /v1/gemm/batched response: the
+// header plus the count·m·n result slab when it reports success.
+func DecodeBatchedResponse[T matrix.Scalar](r io.Reader, m, n, count int) (*RespHeader, []T, error) {
+	return DecodeResponse[T](r, m*count, n)
 }
 
 // DecodeResponse reads a framed response: the header, plus the m×n

@@ -202,6 +202,7 @@ func New(cfg Config) (*Server, error) {
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/gemm", s.handleGEMM)
+	s.mux.HandleFunc("POST /v1/gemm/batched", s.handleBatched)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s, nil

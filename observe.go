@@ -33,6 +33,11 @@ type PhaseStat = obs.Phase
 // time, throughput, per-phase breakdown and a metrics snapshot.
 type BenchReport = obs.BenchReport
 
+// BenchEntry is one named throughput row inside a BenchReport: a leg of
+// a comparative run, e.g. the batched path versus its loop-of-GEMMs
+// baseline.
+type BenchEntry = obs.BenchEntry
+
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
 

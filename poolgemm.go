@@ -164,6 +164,26 @@ func (pg *PoolGEMM) RunSingleCtx(ctx context.Context, transA, transB Transpose, 
 	return sched.RunCtx(ctx, pg.pool, transA, transB, alpha, a, b, beta, c)
 }
 
+// PoolGEMMStridedBatched executes a strided batch (see StridedBatch)
+// across the pool: only the batch index is partitioned — each item is
+// one whole GEMM on one member — so results are bit-identical to
+// looping single GEMMs. Spans are dealt by modeled per-member
+// throughput and rebalanced by work stealing; a failed pool pass
+// degrades to the healthiest single member running the whole batch on
+// one warm plan, then (with PoolOptions.Fallback) to the pure-Go BLAS
+// reference.
+func PoolGEMMStridedBatched[T Scalar](pg *PoolGEMM, sb *StridedBatch[T]) error {
+	return sched.RunStridedBatched(pg.pool, sb)
+}
+
+// PoolGEMMStridedBatchedCtx is PoolGEMMStridedBatched honoring a
+// context: on deadline the error matches both ErrDeadlineExceeded and
+// context.DeadlineExceeded, and straggling items stage their writes so
+// C is never touched after return.
+func PoolGEMMStridedBatchedCtx[T Scalar](ctx context.Context, pg *PoolGEMM, sb *StridedBatch[T]) error {
+	return sched.RunStridedBatchedCtx(ctx, pg.pool, sb)
+}
+
 // Devices returns the member devices in pool order (dead ones
 // included).
 func (pg *PoolGEMM) Devices() []*Device { return pg.pool.Devices() }
