@@ -1,18 +1,33 @@
 // Command clcheck parses and semantically checks OpenCL C kernel files
 // against the subset the clc front end supports (the subset the GEMM
-// code generator emits). Exit status 0 when every file checks.
+// code generator emits), and verifies each kernel also compiles to the
+// clc bytecode VM — the engine that executes kernels by default. Exit
+// status 0 when every file checks.
 //
-// Usage: clcheck file.cl [file2.cl ...]
+// Usage: clcheck [-v] [-interp] file.cl [file2.cl ...]
 // With no arguments, reads a single translation unit from stdin.
+//
+// clcheck -selfcheck generates a grid of GEMM kernels across schedules
+// and precisions, executes each on the simulated runtime, and verifies
+// the results against the reference BLAS, reporting per-kernel
+// simulated throughput. -interp forces the AST interpreter (the
+// differential oracle) instead of the bytecode VM in both modes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"time"
 
+	"oclgemm/internal/blas"
 	"oclgemm/internal/clc"
+	"oclgemm/internal/clsim"
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
 )
 
 func main() {
@@ -28,12 +43,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("clcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: clcheck [file.cl ...]\n")
+		fmt.Fprintf(stderr, "usage: clcheck [-v] [-interp] [file.cl ...]\n       clcheck -selfcheck [-interp]\n")
 		fs.PrintDefaults()
 	}
 	verbose := fs.Bool("v", false, "list kernels and their parameters")
+	interp := fs.Bool("interp", false, "force the AST interpreter instead of the bytecode VM")
+	selfcheck := fs.Bool("selfcheck", false, "generate a grid of GEMM kernels, execute them, and verify against the reference BLAS")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *selfcheck {
+		return selfCheck(stdout, stderr, *interp)
 	}
 
 	failed := 0
@@ -43,6 +63,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stderr, "%s: %v\n", name, err)
 			failed++
 			return
+		}
+		if !*interp {
+			for _, k := range prog.Kernels {
+				if err := k.CompileBytecode(); err != nil {
+					fmt.Fprintf(stderr, "%s: kernel %s: bytecode: %v\n", name, k.Name, err)
+					failed++
+					return
+				}
+			}
 		}
 		fmt.Fprintf(stdout, "%s: OK (%d kernel(s))\n", name, len(prog.Kernels))
 		if *verbose {
@@ -83,4 +112,118 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%d input(s) failed to check", failed)
 	}
 	return nil
+}
+
+// selfCheckGrid is the schedule grid the self-check sweeps: both
+// precisions, all three algorithms, shared/unshared staging and both
+// vector widths the small tile supports.
+func selfCheckGrid() []codegen.Params {
+	base := codegen.Params{
+		Mwg: 16, Nwg: 16, Kwg: 8,
+		MdimC: 4, NdimC: 4, MdimA: 4, NdimB: 4,
+		Kwi: 2, VectorWidth: 1,
+		LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL,
+	}
+	var grid []codegen.Params
+	for _, prec := range []matrix.Precision{matrix.Single, matrix.Double} {
+		for _, alg := range codegen.Algorithms {
+			for _, shared := range []bool{false, true} {
+				for _, vw := range []int{1, 2} {
+					p := base
+					p.Precision, p.Algorithm, p.VectorWidth = prec, alg, vw
+					p.SharedA, p.SharedB = shared, shared
+					if p.Validate() != nil {
+						continue
+					}
+					grid = append(grid, p)
+				}
+			}
+		}
+	}
+	return grid
+}
+
+func selfCheck(stdout, stderr io.Writer, forceInterp bool) error {
+	engine := "bytecode"
+	if forceInterp {
+		engine = "interp"
+	}
+	grid := selfCheckGrid()
+	fmt.Fprintf(stdout, "self-check: %d kernel configurations, engine=%s\n", len(grid), engine)
+	failed := 0
+	for _, p := range grid {
+		var err error
+		var elapsed time.Duration
+		if p.Precision == matrix.Double {
+			elapsed, err = execAndVerify[float64](p, forceInterp)
+		} else {
+			elapsed, err = execAndVerify[float32](p, forceInterp)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "%-44s FAIL: %v\n", p.Name(), err)
+			failed++
+			continue
+		}
+		m, n, k := 2*p.Mwg, 2*p.Nwg, 2*p.Kwg
+		mflops := 2 * float64(m) * float64(n) * float64(k) / elapsed.Seconds() / 1e6
+		fmt.Fprintf(stdout, "%-44s OK  %8.2fms  %8.1f simulated MFlop/s\n",
+			p.Name(), float64(elapsed.Microseconds())/1e3, mflops)
+	}
+	if failed > 0 {
+		return fmt.Errorf("self-check: %d/%d kernels failed", failed, len(grid))
+	}
+	fmt.Fprintf(stdout, "self-check: all %d kernels verified against reference BLAS\n", len(grid))
+	return nil
+}
+
+// execAndVerify generates p's source, compiles it, runs it on the
+// simulated runtime under the selected engine at a multi-work-group
+// size, and compares the result against the reference BLAS.
+func execAndVerify[T matrix.Scalar](p codegen.Params, forceInterp bool) (time.Duration, error) {
+	m, n, k := 2*p.Mwg, 2*p.Nwg, 2*p.Kwg
+	src, err := p.GenerateSource()
+	if err != nil {
+		return 0, fmt.Errorf("generate: %v", err)
+	}
+	prog, err := clc.Compile(src)
+	if err != nil {
+		return 0, fmt.Errorf("compile: %v", err)
+	}
+	kern, err := prog.Kernel(codegen.KernelName)
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(17))
+	a := matrix.New[T](m, k, matrix.RowMajor)
+	b := matrix.New[T](k, n, matrix.RowMajor)
+	c := matrix.New[T](m, n, matrix.RowMajor)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	c.FillRandom(rng)
+	want := c.Clone()
+	blas.GEMM(blas.NoTrans, blas.NoTrans, T(1.5), a, b, T(-0.25), want)
+
+	at := matrix.Pack(a, true, k, m, p.Kwg, p.Mwg, p.LayoutA)
+	bp := matrix.Pack(b, false, k, n, p.Kwg, p.Nwg, p.LayoutB)
+	bound, err := kern.Bind(m, n, k, T(1.5), T(-0.25), at.Data, bp.Data, c.Data)
+	if err != nil {
+		return 0, fmt.Errorf("bind: %v", err)
+	}
+	bound.SetInterp(forceInterp)
+	bound.SetFuel(1 << 24)
+	q := clsim.NewQueue(clsim.NewContext(&clsim.Device{Spec: device.Tahiti()}))
+	nd := clsim.NDRange{
+		Global: [2]int{m / p.Mwg * p.MdimC, n / p.Nwg * p.NdimC},
+		Local:  [2]int{p.MdimC, p.NdimC},
+	}
+	start := time.Now()
+	if err := q.Run(bound, nd); err != nil {
+		return 0, fmt.Errorf("run: %v", err)
+	}
+	elapsed := time.Since(start)
+	tol := matrix.Tolerance(p.Precision, k)
+	if diff := matrix.MaxRelDiff(c, want); diff > tol {
+		return 0, fmt.Errorf("max rel diff %g (tol %g) vs reference", diff, tol)
+	}
+	return elapsed, nil
 }

@@ -68,3 +68,30 @@ func TestRunReadsStdin(t *testing.T) {
 		t.Errorf("output missing stdin OK: %q", out.String())
 	}
 }
+
+func TestRunInterpFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-interp"}, strings.NewReader(genKernel(t)), &out, &errOut); err != nil {
+		t.Fatalf("run(-interp): %v", err)
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Errorf("output missing OK: %q", out.String())
+	}
+}
+
+// The self-check executes every grid kernel against the reference BLAS
+// under both engines.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("executes a kernel grid")
+	}
+	for _, flags := range [][]string{{"-selfcheck"}, {"-selfcheck", "-interp"}} {
+		var out, errOut strings.Builder
+		if err := run(flags, strings.NewReader(""), &out, &errOut); err != nil {
+			t.Fatalf("run(%v): %v\nstderr: %s", flags, err, errOut.String())
+		}
+		if !strings.Contains(out.String(), "all") || !strings.Contains(out.String(), "verified against reference BLAS") {
+			t.Errorf("run(%v): missing success summary: %q", flags, out.String())
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package clc
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Type describes an OpenCL C value type in the supported subset.
 type Type struct {
@@ -218,6 +221,12 @@ type KernelDecl struct {
 	Name   string
 	Params []Param
 	Body   *Block
+
+	// Bytecode compilation is cached per declaration: the program
+	// depends only on the AST, so every Bind shares one compile.
+	compileOnce sync.Once
+	compiled    *compiledKernel
+	compileErr  error
 }
 
 // Program is a parsed translation unit.

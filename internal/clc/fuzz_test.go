@@ -1,6 +1,7 @@
 package clc
 
 import (
+	"math"
 	"testing"
 
 	"oclgemm/internal/clsim"
@@ -42,7 +43,9 @@ func FuzzCompile(f *testing.F) {
 
 // FuzzInterpretTinyKernel mutates the body of a small kernel and checks
 // the whole pipeline (compile → bind → run) never panics outside the
-// executor's error channel.
+// executor's error channel — and that the bytecode VM and the AST
+// interpreter agree bit-for-bit on every surviving input, including on
+// whether the run faults.
 func FuzzInterpretTinyKernel(f *testing.F) {
 	bodies := []string{
 		"o[gid] = 1.0;",
@@ -66,19 +69,46 @@ func FuzzInterpretTinyKernel(f *testing.F) {
 		if err != nil {
 			return
 		}
-		bk, err := k.Bind(make([]float64, 8))
-		if err != nil {
+		run := func(forceInterp bool) ([]float64, error) {
+			buf := make([]float64, 8)
+			for i := range buf {
+				buf[i] = float64(i) * 0.125
+			}
+			bk, err := k.Bind(buf)
+			if err != nil {
+				return nil, err
+			}
+			bk.SetInterp(forceInterp)
+			// Fuzzed bodies can contain non-terminating loops; the fuel
+			// budget turns those into deterministic faults that both
+			// engines report identically.
+			bk.SetFuel(200000)
+			ctx := clsim.NewContext(&clsim.Device{Spec: device.Tahiti()})
+			q := clsim.NewQueue(ctx)
+			// Fuzzed kernels may write the same global location from every
+			// work-item (undefined behaviour in OpenCL); single-item groups
+			// dispatched serially keep such inputs deterministic instead of
+			// racing.
+			q.Workers = 1
+			// Run may return an error (runtime faults); it must not panic
+			// or deadlock.
+			return buf, q.Run(bk, clsim.NDRange{Global: [2]int{4, 1}, Local: [2]int{1, 1}})
+		}
+		vmBuf, vmErr := run(false)
+		inBuf, inErr := run(true)
+		if (vmErr == nil) != (inErr == nil) {
+			t.Fatalf("engines disagree on fault: vm=%v interp=%v", vmErr, inErr)
+		}
+		if vmErr != nil {
+			if vmErr.Error() != inErr.Error() {
+				t.Fatalf("engines disagree on fault message:\n vm:     %v\n interp: %v", vmErr, inErr)
+			}
 			return
 		}
-		ctx := clsim.NewContext(&clsim.Device{Spec: device.Tahiti()})
-		q := clsim.NewQueue(ctx)
-		// Fuzzed kernels may write the same global location from every
-		// work-item (undefined behaviour in OpenCL); single-item groups
-		// dispatched serially keep such inputs deterministic instead of
-		// racing.
-		q.Workers = 1
-		// Run may return an error (runtime faults); it must not panic
-		// or deadlock.
-		_ = q.Run(bk, clsim.NDRange{Global: [2]int{4, 1}, Local: [2]int{1, 1}})
+		for i := range vmBuf {
+			if math.Float64bits(vmBuf[i]) != math.Float64bits(inBuf[i]) {
+				t.Fatalf("engines disagree at o[%d]: vm=%v interp=%v", i, vmBuf[i], inBuf[i])
+			}
+		}
 	})
 }

@@ -18,8 +18,9 @@ func intVal(v int64) value { return value{t: Type{Base: "int", Lanes: 1}, i: v} 
 
 func floatVal(base string, lanes int) value { return value{t: Type{Base: base, Lanes: lanes}} }
 
-// asFloat returns lane l as float64, broadcasting scalars.
-func (v value) lane(l int) float64 {
+// lane returns lane l as float64, broadcasting scalars. Pointer
+// receiver: value is 160 bytes and these accessors sit on the hot path.
+func (v *value) lane(l int) float64 {
 	if v.t.IsInt() {
 		return float64(v.i)
 	}
@@ -29,7 +30,7 @@ func (v value) lane(l int) float64 {
 	return v.f[l]
 }
 
-func (v value) truthy() bool {
+func (v *value) truthy() bool {
 	if v.t.IsInt() {
 		return v.i != 0
 	}
@@ -37,7 +38,7 @@ func (v value) truthy() bool {
 }
 
 // asInt coerces a scalar value to an integer.
-func (v value) asInt() int64 {
+func (v *value) asInt() int64 {
 	if v.t.IsInt() {
 		return v.i
 	}
@@ -66,24 +67,39 @@ func (a *arrayStore) length() int {
 	return len(a.f32) / a.t.Lanes
 }
 
-func (a *arrayStore) load(idx int64, e Expr) value {
+// loadInto reads element idx into dst (which must not alias the store).
+func (a *arrayStore) loadInto(dst *value, idx int64, e Expr) {
 	n := int64(a.length())
 	if idx < 0 || idx >= n {
 		panic(errAt(e, "index %d out of range [0,%d)", idx, n))
 	}
-	v := floatVal(a.t.Base, a.t.Lanes)
 	base := idx * int64(a.t.Lanes)
+	if a.t.Lanes == 1 {
+		dst.t = a.t
+		if a.f64 != nil {
+			dst.f[0] = a.f64[base]
+		} else {
+			dst.f[0] = float64(a.f32[base])
+		}
+		return
+	}
 	for l := 0; l < a.t.Lanes; l++ {
 		if a.f64 != nil {
-			v.f[l] = a.f64[base+int64(l)]
+			dst.f[l] = a.f64[base+int64(l)]
 		} else {
-			v.f[l] = float64(a.f32[base+int64(l)])
+			dst.f[l] = float64(a.f32[base+int64(l)])
 		}
 	}
+	dst.t = a.t
+}
+
+func (a *arrayStore) load(idx int64, e Expr) value {
+	var v value
+	a.loadInto(&v, idx, e)
 	return v
 }
 
-func (a *arrayStore) store(idx int64, v value, e Expr) {
+func (a *arrayStore) store(idx int64, v *value, e Expr) {
 	n := int64(a.length())
 	if idx < 0 || idx >= n {
 		panic(errAt(e, "index %d out of range [0,%d)", idx, n))
@@ -99,8 +115,9 @@ func (a *arrayStore) store(idx int64, v value, e Expr) {
 	}
 }
 
-// vload reads w consecutive elements starting at elementOffset*w.
-func (a *arrayStore) vload(w int, off int64, e Expr) value {
+// vloadInto reads w consecutive elements starting at elementOffset*w
+// into dst (which must not alias the store).
+func (a *arrayStore) vloadInto(dst *value, w int, off int64, e Expr) {
 	if a.t.Lanes != 1 {
 		panic(errAt(e, "vload from a vector array"))
 	}
@@ -108,18 +125,23 @@ func (a *arrayStore) vload(w int, off int64, e Expr) value {
 	if start < 0 || start+int64(w) > int64(a.length()) {
 		panic(errAt(e, "vload%d offset %d out of range", w, off))
 	}
-	v := floatVal(a.t.Base, w)
 	for l := 0; l < w; l++ {
 		if a.f64 != nil {
-			v.f[l] = a.f64[start+int64(l)]
+			dst.f[l] = a.f64[start+int64(l)]
 		} else {
-			v.f[l] = float64(a.f32[start+int64(l)])
+			dst.f[l] = float64(a.f32[start+int64(l)])
 		}
 	}
+	dst.t = Type{Base: a.t.Base, Lanes: w}
+}
+
+func (a *arrayStore) vload(w int, off int64, e Expr) value {
+	var v value
+	a.vloadInto(&v, w, off, e)
 	return v
 }
 
-func (a *arrayStore) vstore(w int, v value, off int64, e Expr) {
+func (a *arrayStore) vstore(w int, v *value, off int64, e Expr) {
 	if a.t.Lanes != 1 {
 		panic(errAt(e, "vstore to a vector array"))
 	}
@@ -214,6 +236,7 @@ func (k *KernelDecl) Bind(args ...any) (*BoundKernel, error) {
 			b.locals = append(b.locals, d)
 		}
 	}
+	b.prog = k.bytecode()
 	return b, nil
 }
 
@@ -222,16 +245,54 @@ type BoundKernel struct {
 	decl   *KernelDecl
 	args   []*variable
 	locals []*Decl
+
+	// prog is the compiled bytecode (nil when compilation failed, in
+	// which case Run falls back to the AST interpreter).
+	prog        *compiledKernel
+	forceInterp bool
+	fuel        int64
 }
 
 // Name implements clsim.WorkItemKernel.
 func (b *BoundKernel) Name() string { return b.decl.Name }
 
+// SetInterp forces the AST-interpreter path — the differential oracle —
+// when on. The default runs compiled bytecode.
+func (b *BoundKernel) SetInterp(on bool) { b.forceInterp = on }
+
+// SetFuel bounds loop back-edges per work-item: once a work-item
+// completes n loop iterations (summed across all loops) the run faults
+// with a budget error instead of spinning forever. Zero or negative
+// disables the bound. Both engines count identically, so a fuel fault
+// is deterministic and engine-independent.
+func (b *BoundKernel) SetFuel(n int64) { b.fuel = n }
+
+// errLoopBudget is the fault raised when SetFuel's budget runs out. It
+// is a shared sentinel so both engines produce byte-identical errors.
+var errLoopBudget = &Error{Msg: "loop iteration budget exhausted"}
+
+// Engine reports which execution engine Run will use: "bytecode" or
+// "interp".
+func (b *BoundKernel) Engine() string {
+	if b.prog != nil && !b.forceInterp {
+		return "bytecode"
+	}
+	return "interp"
+}
+
+// groupState carries a work-group's __local arrays in both engine
+// representations: by name for the interpreter's scopes, by hoisting
+// ordinal for the VM's array slots.
+type groupState struct {
+	byName map[string]*arrayStore
+	slots  []*arrayStore
+}
+
 // SetupGroup allocates the kernel's __local arrays through the
 // work-group's accounting (so capacity overruns surface exactly as on
 // a real device).
 func (b *BoundKernel) SetupGroup(g *clsim.Group) any {
-	shared := make(map[string]*arrayStore, len(b.locals))
+	gs := &groupState{byName: make(map[string]*arrayStore, len(b.locals))}
 	for _, d := range b.locals {
 		n, err := constFold(d.ArrayLen)
 		if err != nil {
@@ -244,21 +305,27 @@ func (b *BoundKernel) SetupGroup(g *clsim.Group) any {
 		} else {
 			st.f32 = g.AllocLocalFloat32(total)
 		}
-		shared[d.Name] = st
+		gs.byName[d.Name] = st
+		gs.slots = append(gs.slots, st)
 	}
-	return shared
+	return gs
 }
 
-// Run implements clsim.WorkItemKernel: interpret the body for one
-// work-item.
+// Run implements clsim.WorkItemKernel: execute the body for one
+// work-item, on the bytecode VM by default and on the AST interpreter
+// when forced (or when bytecode compilation failed).
 func (b *BoundKernel) Run(it *clsim.Item, sharedAny any) {
-	shared := sharedAny.(map[string]*arrayStore)
-	in := &interp{item: it}
+	gs := sharedAny.(*groupState)
+	if b.prog != nil && !b.forceInterp {
+		b.prog.run(it, b.args, gs, b.fuel)
+		return
+	}
+	in := &interp{item: it, fuel: b.fuel}
 	in.env.push()
 	for i, p := range b.decl.Params {
 		in.env.define(p.Name, b.args[i])
 	}
-	for name, st := range shared {
+	for name, st := range gs.byName {
 		in.env.define(name, &variable{arr: st})
 	}
 	in.execBlockInCurrentScope(b.decl.Body, true)
@@ -268,6 +335,7 @@ func (b *BoundKernel) Run(it *clsim.Item, sharedAny any) {
 type interp struct {
 	item *clsim.Item
 	env  env
+	fuel int64 // remaining loop back-edges; <= 0 disables the bound
 }
 
 func (in *interp) execBlockInCurrentScope(b *Block, skipLocals bool) {
@@ -314,6 +382,14 @@ func (in *interp) exec(s Stmt) {
 			if n.Post != nil {
 				in.exec(n.Post)
 			}
+			// Mirrors the VM's backward-jump accounting exactly: one
+			// unit per completed loop iteration.
+			if in.fuel > 0 {
+				in.fuel--
+				if in.fuel == 0 {
+					panic(errLoopBudget)
+				}
+			}
 		}
 		in.env.pop()
 	case *Block:
@@ -342,7 +418,7 @@ func (in *interp) execDecl(d *Decl) {
 		v.arr = st
 	} else {
 		if d.Init != nil {
-			v.val = in.convert(in.eval(d.Init), d.Type, d.Init)
+			v.val = convertVal(in.eval(d.Init), d.Type, d.Init)
 		} else {
 			if d.Type.IsInt() {
 				v.val = intVal(0)
@@ -354,32 +430,74 @@ func (in *interp) execDecl(d *Decl) {
 	in.env.define(d.Name, v)
 }
 
-// convert coerces a value to a declared type (scalar conversions and
-// scalar→vector broadcast).
-func (in *interp) convert(v value, to Type, at Expr) value {
+var intType = Type{Base: "int", Lanes: 1}
+
+func setInt(dst *value, x int64) {
+	dst.t = intType
+	dst.i = x
+}
+
+func setBool(dst *value, b bool) {
+	dst.t = intType
+	if b {
+		dst.i = 1
+	} else {
+		dst.i = 0
+	}
+}
+
+// copyVal copies src into dst, touching only the active lanes (lanes
+// past src.t.Lanes are never read, so stale data there is harmless).
+func copyVal(dst, src *value) {
+	if dst == src {
+		return
+	}
+	dst.t = src.t
+	if src.t.IsInt() {
+		dst.i = src.i
+		return
+	}
+	for l := 0; l < src.t.Lanes; l++ {
+		dst.f[l] = src.f[l]
+	}
+}
+
+// convertInto coerces v to a declared type (scalar conversions and
+// scalar→vector broadcast) into dst; dst may alias v. It is the single
+// conversion semantics shared by the AST interpreter and the bytecode
+// VM (convertVal is its value wrapper).
+func convertInto(dst, v *value, to Type, at Expr) {
 	if v.t == to {
-		return v
+		copyVal(dst, v)
+		return
 	}
 	if to.IsInt() {
 		if to.Lanes != 1 {
 			panic(errAt(at, "integer vectors are not supported"))
 		}
-		return intVal(v.asInt())
+		setInt(dst, v.asInt())
+		return
 	}
-	out := floatVal(to.Base, to.Lanes)
 	if v.t.Lanes == 1 {
 		x := round32(to.Base, v.lane(0))
 		for l := 0; l < to.Lanes; l++ {
-			out.f[l] = x
+			dst.f[l] = x
 		}
-		return out
+		dst.t = to
+		return
 	}
 	if v.t.Lanes != to.Lanes {
 		panic(errAt(at, "cannot convert %s to %s", v.t, to))
 	}
 	for l := 0; l < to.Lanes; l++ {
-		out.f[l] = round32(to.Base, v.f[l])
+		dst.f[l] = round32(to.Base, v.f[l])
 	}
+	dst.t = to
+}
+
+func convertVal(v value, to Type, at Expr) value {
+	var out value
+	convertInto(&out, &v, to, at)
 	return out
 }
 
@@ -390,13 +508,13 @@ func (in *interp) execAssign(a *Assign) {
 		case "=":
 			return rhs
 		case "+=":
-			return in.binop("+", cur, rhs, a.RHS)
+			return binopVal("+", cur, rhs, a.RHS)
 		case "-=":
-			return in.binop("-", cur, rhs, a.RHS)
+			return binopVal("-", cur, rhs, a.RHS)
 		case "*=":
-			return in.binop("*", cur, rhs, a.RHS)
+			return binopVal("*", cur, rhs, a.RHS)
 		case "/=":
-			return in.binop("/", cur, rhs, a.RHS)
+			return binopVal("/", cur, rhs, a.RHS)
 		}
 		panic(errAt(a.LHS, "unsupported assignment operator %q", a.Op))
 	}
@@ -410,12 +528,14 @@ func (in *interp) execAssign(a *Assign) {
 			panic(errAt(lhs, "cannot assign to array %q", lhs.Name))
 		}
 		nv := apply(v.val)
-		v.val = in.convert(nv, v.val.t, a.RHS)
+		v.val = convertVal(nv, v.val.t, a.RHS)
 	case *Index:
 		arr := in.arrayOf(lhs.X)
-		idx := in.eval(lhs.Idx).asInt()
+		iv := in.eval(lhs.Idx)
+		idx := iv.asInt()
 		cur := arr.load(idx, lhs)
-		arr.store(idx, in.convert(apply(cur), arr.t, a.RHS), lhs)
+		nv := convertVal(apply(cur), arr.t, a.RHS)
+		arr.store(idx, &nv, lhs)
 	default:
 		panic(errAt(a.LHS, "left-hand side is not assignable"))
 	}
@@ -466,16 +586,18 @@ func (in *interp) eval(e Expr) value {
 			if !l.truthy() {
 				return intVal(0)
 			}
-			return boolVal(in.eval(n.R).truthy())
+			r := in.eval(n.R)
+			return boolVal(r.truthy())
 		}
 		if n.Op == "||" {
 			l := in.eval(n.L)
 			if l.truthy() {
 				return intVal(1)
 			}
-			return boolVal(in.eval(n.R).truthy())
+			r := in.eval(n.R)
+			return boolVal(r.truthy())
 		}
-		return in.binop(n.Op, in.eval(n.L), in.eval(n.R), e)
+		return binopVal(n.Op, in.eval(n.L), in.eval(n.R), e)
 	case *Unary:
 		x := in.eval(n.X)
 		switch n.Op {
@@ -495,7 +617,8 @@ func (in *interp) eval(e Expr) value {
 		}
 		panic(errAt(e, "unsupported unary operator %q", n.Op))
 	case *Cond:
-		if in.eval(n.C).truthy() {
+		c := in.eval(n.C)
+		if c.truthy() {
 			return in.eval(n.T)
 		}
 		return in.eval(n.F)
@@ -503,16 +626,17 @@ func (in *interp) eval(e Expr) value {
 		return in.call(n)
 	case *Index:
 		arr := in.arrayOf(n.X)
-		idx := in.eval(n.Idx).asInt()
-		return arr.load(idx, e)
+		iv := in.eval(n.Idx)
+		return arr.load(iv.asInt(), e)
 	case *Cast:
 		if len(n.Args) == 1 {
-			return in.convert(in.eval(n.Args[0]), n.To, e)
+			return convertVal(in.eval(n.Args[0]), n.To, e)
 		}
 		// Vector constructor with Lanes components.
 		out := floatVal(n.To.Base, n.To.Lanes)
 		for l, a := range n.Args {
-			out.f[l] = round32(n.To.Base, in.eval(a).lane(0))
+			av := in.eval(a)
+			out.f[l] = round32(n.To.Base, av.lane(0))
 		}
 		return out
 	}
@@ -526,52 +650,57 @@ func boolVal(b bool) value {
 	return intVal(0)
 }
 
-// binop evaluates l op r with C numeric promotion and lane
-// broadcasting; float results round per the wider base's precision.
-func (in *interp) binop(op string, l, r value, at Expr) value {
+// binopInto evaluates l op r into dst (dst may alias l or r) with C
+// numeric promotion and lane broadcasting; float results round per the
+// wider base's precision. op is an arithOps index. It is the single
+// arithmetic semantics shared by the AST interpreter and the bytecode
+// VM (binopVal is its string-keyed value wrapper).
+func binopInto(dst *value, op int64, l, r *value, at Expr) {
 	if l.t.IsInt() && r.t.IsInt() {
 		a, b := l.i, r.i
 		switch op {
-		case "+":
-			return intVal(a + b)
-		case "-":
-			return intVal(a - b)
-		case "*":
-			return intVal(a * b)
-		case "/":
+		case aAdd:
+			setInt(dst, a+b)
+		case aSub:
+			setInt(dst, a-b)
+		case aMul:
+			setInt(dst, a*b)
+		case aDiv:
 			if b == 0 {
 				panic(errAt(at, "integer division by zero"))
 			}
-			return intVal(a / b)
-		case "%":
+			setInt(dst, a/b)
+		case aMod:
 			if b == 0 {
 				panic(errAt(at, "integer modulo by zero"))
 			}
-			return intVal(a % b)
-		case "<<":
-			return intVal(a << uint(b))
-		case ">>":
-			return intVal(a >> uint(b))
-		case "&":
-			return intVal(a & b)
-		case "|":
-			return intVal(a | b)
-		case "^":
-			return intVal(a ^ b)
-		case "<":
-			return boolVal(a < b)
-		case "<=":
-			return boolVal(a <= b)
-		case ">":
-			return boolVal(a > b)
-		case ">=":
-			return boolVal(a >= b)
-		case "==":
-			return boolVal(a == b)
-		case "!=":
-			return boolVal(a != b)
+			setInt(dst, a%b)
+		case aShl:
+			setInt(dst, a<<uint(b))
+		case aShr:
+			setInt(dst, a>>uint(b))
+		case aAnd:
+			setInt(dst, a&b)
+		case aOr:
+			setInt(dst, a|b)
+		case aXor:
+			setInt(dst, a^b)
+		case aLt:
+			setBool(dst, a < b)
+		case aLe:
+			setBool(dst, a <= b)
+		case aGt:
+			setBool(dst, a > b)
+		case aGe:
+			setBool(dst, a >= b)
+		case aEq:
+			setBool(dst, a == b)
+		case aNe:
+			setBool(dst, a != b)
+		default:
+			panic(errAt(at, "unsupported integer operator %q", arithOps[op]))
 		}
-		panic(errAt(at, "unsupported integer operator %q", op))
+		return
 	}
 	// Float path with promotion.
 	base := "float"
@@ -593,52 +722,72 @@ func (in *interp) binop(op string, l, r value, at Expr) value {
 	if l.t.Lanes > 1 && r.t.Lanes > 1 && l.t.Lanes != r.t.Lanes {
 		panic(errAt(at, "vector width mismatch %s vs %s", l.t, r.t))
 	}
-	switch op {
-	case "<", "<=", ">", ">=", "==", "!=":
+	if op >= aLt {
 		if lanes != 1 {
 			panic(errAt(at, "vector comparisons are not supported"))
 		}
 		a, b := l.lane(0), r.lane(0)
 		switch op {
-		case "<":
-			return boolVal(a < b)
-		case "<=":
-			return boolVal(a <= b)
-		case ">":
-			return boolVal(a > b)
-		case ">=":
-			return boolVal(a >= b)
-		case "==":
-			return boolVal(a == b)
-		case "!=":
-			return boolVal(a != b)
-		}
-	}
-	out := floatVal(base, lanes)
-	for i := 0; i < lanes; i++ {
-		a, b := l.lane(i), r.lane(i)
-		var x float64
-		switch op {
-		case "+":
-			x = a + b
-		case "-":
-			x = a - b
-		case "*":
-			x = a * b
-		case "/":
-			x = a / b
+		case aLt:
+			setBool(dst, a < b)
+		case aLe:
+			setBool(dst, a <= b)
+		case aGt:
+			setBool(dst, a > b)
+		case aGe:
+			setBool(dst, a >= b)
+		case aEq:
+			setBool(dst, a == b)
 		default:
-			panic(errAt(at, "unsupported float operator %q", op))
+			setBool(dst, a != b)
 		}
-		out.f[i] = round32(base, x)
+		return
 	}
+	if lanes == 1 {
+		a, b := l.lane(0), r.lane(0)
+		dst.f[0] = round32(base, floatArith(op, a, b, base, at))
+		dst.t = Type{Base: base, Lanes: 1}
+		return
+	}
+	// A broadcast operand's lane(i) rereads lane 0, so when dst aliases
+	// an operand the result must be staged before writing.
+	var f [16]float64
+	for i := 0; i < lanes; i++ {
+		f[i] = round32(base, floatArith(op, l.lane(i), r.lane(i), base, at))
+	}
+	dst.t = Type{Base: base, Lanes: lanes}
+	dst.f = f
+}
+
+func floatArith(op int64, a, b float64, base string, at Expr) float64 {
+	switch op {
+	case aAdd:
+		return a + b
+	case aSub:
+		return a - b
+	case aMul:
+		return a * b
+	case aDiv:
+		return a / b
+	}
+	panic(errAt(at, "unsupported float operator %q", arithOps[op]))
+}
+
+func binopVal(op string, l, r value, at Expr) value {
+	idx, ok := arithIdx[op]
+	if !ok {
+		panic(errAt(at, "unsupported operator %q", op))
+	}
+	var out value
+	binopInto(&out, idx, &l, &r, at)
 	return out
 }
 
 func (in *interp) call(c *Call) value {
 	switch c.Fun {
 	case "get_global_id", "get_local_id", "get_group_id", "get_local_size", "get_global_size", "get_num_groups":
-		d := int(in.eval(c.Args[0]).asInt())
+		dv := in.eval(c.Args[0])
+		d := int(dv.asInt())
 		if d < 0 || d > 1 {
 			panic(errAt(c, "dimension %d out of range (2-D NDRange)", d))
 		}
@@ -664,8 +813,8 @@ func (in *interp) call(c *Call) value {
 		a := in.eval(c.Args[0])
 		b := in.eval(c.Args[1])
 		cc := in.eval(c.Args[2])
-		prod := in.binop("*", a, b, c)
-		return in.binop("+", prod, cc, c)
+		prod := binopVal("*", a, b, c)
+		return binopVal("+", prod, cc, c)
 	case "min", "max":
 		a := in.eval(c.Args[0])
 		b := in.eval(c.Args[1])
@@ -685,18 +834,20 @@ func (in *interp) call(c *Call) value {
 		return v
 	case "vload2", "vload4", "vload8":
 		w := int(c.Fun[5] - '0')
-		off := in.eval(c.Args[0]).asInt()
+		offv := in.eval(c.Args[0])
+		off := offv.asInt()
 		arr := in.arrayOf(c.Args[1])
 		return arr.vload(w, off, c)
 	case "vstore2", "vstore4", "vstore8":
 		w := int(c.Fun[6] - '0')
 		v := in.eval(c.Args[0])
-		off := in.eval(c.Args[1]).asInt()
+		offv := in.eval(c.Args[1])
+		off := offv.asInt()
 		arr := in.arrayOf(c.Args[2])
 		if v.t.Lanes != w {
 			panic(errAt(c, "vstore%d given %d lanes", w, v.t.Lanes))
 		}
-		arr.vstore(w, v, off, c)
+		arr.vstore(w, &v, off, c)
 		return intVal(0)
 	}
 	panic(errAt(c, "unknown function %q", c.Fun))

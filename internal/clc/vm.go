@@ -1,0 +1,195 @@
+package clc
+
+// The bytecode VM: a flat instruction loop over a compiledKernel. One
+// frame of registers and array slots is checked out of the program's
+// pool per work-item execution; parameters are copied into registers up
+// front so the hot loop never touches a map. Faults panic with the same
+// positioned *Error values the interpreter produces (the executor
+// recovers them into launch errors), using the per-instruction ex table
+// for positions at zero cost off the error path.
+
+import (
+	"math"
+
+	"oclgemm/internal/clsim"
+)
+
+type vmFrame struct {
+	regs []value
+	arrs []*arrayStore
+}
+
+func (p *compiledKernel) frame() *vmFrame {
+	if f, ok := p.pool.Get().(*vmFrame); ok {
+		return f
+	}
+	return &vmFrame{regs: make([]value, p.nreg), arrs: make([]*arrayStore, p.narr)}
+}
+
+// run executes the program for one work-item. args are the bound kernel
+// arguments (scalar values are copied into registers — OpenCL argument
+// semantics); gs carries the work-group's __local arrays; fuel > 0
+// bounds loop back-edges (see BoundKernel.SetFuel).
+func (p *compiledKernel) run(it *clsim.Item, args []*variable, gs *groupState, fuel int64) {
+	f := p.frame()
+	regs, arrs := f.regs, f.arrs
+	for i, v := range args {
+		if r := p.paramRegs[i]; r >= 0 {
+			copyVal(&regs[r], &v.val)
+		} else {
+			arrs[p.paramArrs[i]] = v.arr
+		}
+	}
+	for ord, slot := range p.localSlots {
+		arrs[slot] = gs.slots[ord]
+	}
+	code := p.code
+	pc := 0
+	for {
+		in := &code[pc]
+		switch in.op {
+		case opConst:
+			copyVal(&regs[in.dst], &p.consts[in.imm])
+		case opMov:
+			copyVal(&regs[in.dst], &regs[in.a])
+		case opBool:
+			setBool(&regs[in.dst], regs[in.a].truthy())
+		case opBin:
+			binopInto(&regs[in.dst], in.imm, &regs[in.a], &regs[in.b], p.ex[pc])
+		case opNeg:
+			x := &regs[in.a]
+			dst := &regs[in.dst]
+			if x.t.IsInt() {
+				setInt(dst, -x.i)
+			} else {
+				t := x.t
+				for l := 0; l < t.Lanes; l++ {
+					dst.f[l] = -x.f[l]
+				}
+				dst.t = t
+			}
+		case opNot:
+			setBool(&regs[in.dst], !regs[in.a].truthy())
+		case opBitNot:
+			setInt(&regs[in.dst], ^regs[in.a].asInt())
+		case opConvert:
+			convertInto(&regs[in.dst], &regs[in.a], p.types[in.imm], p.ex[pc])
+		case opConvertDyn:
+			convertInto(&regs[in.dst], &regs[in.a], arrs[in.b].t, p.ex[pc])
+		case opVecCtor:
+			to := p.types[in.imm]
+			// Source registers are distinct temps, never the dst block's
+			// own slot, so writing lanes in order is alias-safe.
+			dst := &regs[in.dst]
+			for l := 0; l < int(in.c); l++ {
+				dst.f[l] = round32(to.Base, regs[int(in.a)+l].lane(0))
+			}
+			dst.t = to
+		case opJump:
+			// Loop back-edges are the only backward jumps; charge fuel
+			// exactly as the interpreter does per completed iteration.
+			if int(in.imm) <= pc && fuel > 0 {
+				fuel--
+				if fuel == 0 {
+					panic(errLoopBudget)
+				}
+			}
+			pc = int(in.imm)
+			continue
+		case opJumpF:
+			if !regs[in.a].truthy() {
+				pc = int(in.imm)
+				continue
+			}
+		case opJumpT:
+			if regs[in.a].truthy() {
+				pc = int(in.imm)
+				continue
+			}
+		case opWI:
+			d := int(regs[in.a].asInt())
+			if d < 0 || d > 1 {
+				panic(errAt(p.ex[pc], "dimension %d out of range (2-D NDRange)", d))
+			}
+			var x int
+			switch in.imm {
+			case wiGlobalID:
+				x = it.GlobalID(d)
+			case wiLocalID:
+				x = it.LocalID(d)
+			case wiGroupID:
+				x = it.GroupID(d)
+			case wiLocalSize:
+				x = it.LocalSize(d)
+			case wiGlobalSize:
+				x = it.GlobalSize(d)
+			default:
+				x = it.GlobalSize(d) / it.LocalSize(d)
+			}
+			setInt(&regs[in.dst], int64(x))
+		case opBarrier:
+			it.Barrier()
+		case opMad:
+			at := p.ex[pc]
+			var prod value
+			binopInto(&prod, aMul, &regs[in.a], &regs[in.b], at)
+			binopInto(&regs[in.dst], aAdd, &prod, &regs[in.c], at)
+		case opMin, opMax:
+			a, b := &regs[in.a], &regs[in.b]
+			if a.t.IsInt() && b.t.IsInt() {
+				if in.op == opMin {
+					setInt(&regs[in.dst], min(a.i, b.i))
+				} else {
+					setInt(&regs[in.dst], max(a.i, b.i))
+				}
+			} else {
+				// The interpreter's float min/max returns a double scalar
+				// of lane 0 regardless of operand types; keep the quirk.
+				x, y := a.lane(0), b.lane(0)
+				dst := &regs[in.dst]
+				if in.op == opMin {
+					dst.f[0] = math.Min(x, y)
+				} else {
+					dst.f[0] = math.Max(x, y)
+				}
+				dst.t = Type{Base: "double", Lanes: 1}
+			}
+		case opLoad:
+			arrs[in.a].loadInto(&regs[in.dst], regs[in.b].asInt(), p.ex[pc])
+		case opCheckIdx:
+			arr := arrs[in.a]
+			idx := regs[in.b].asInt()
+			if n := int64(arr.length()); idx < 0 || idx >= n {
+				panic(errAt(p.ex[pc], "index %d out of range [0,%d)", idx, n))
+			}
+		case opStore:
+			arrs[in.a].store(regs[in.b].asInt(), &regs[in.c], p.ex[pc])
+		case opVload:
+			arrs[in.a].vloadInto(&regs[in.dst], int(in.imm), regs[in.b].asInt(), p.ex[pc])
+		case opVstore:
+			v := &regs[in.c]
+			w := int(in.imm)
+			if v.t.Lanes != w {
+				panic(errAt(p.ex[pc], "vstore%d given %d lanes", w, v.t.Lanes))
+			}
+			arrs[in.a].vstore(w, v, regs[in.b].asInt(), p.ex[pc])
+		case opAllocArr:
+			def := p.defs[in.imm]
+			st := &arrayStore{t: def.t}
+			if def.t.Base == "double" {
+				st.f64 = make([]float64, def.total)
+			} else {
+				st.f32 = make([]float32, def.total)
+			}
+			arrs[in.a] = st
+		case opErr:
+			panic(p.errs[in.imm])
+		case opHalt:
+			// Frames are only recycled on clean exit; a panicking frame
+			// is abandoned to the GC.
+			p.pool.Put(f)
+			return
+		}
+		pc++
+	}
+}

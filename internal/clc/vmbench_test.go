@@ -1,0 +1,108 @@
+package clc
+
+import (
+	"testing"
+	"time"
+
+	"oclgemm/internal/clsim"
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+)
+
+// benchKernel builds the kernel-phase workload the clcheck/verify path
+// executes: a generated BA double kernel with shared __local staging at
+// a multi-work-group size.
+func benchKernel(tb testing.TB, forceInterp bool) (*BoundKernel, *clsim.Queue, clsim.NDRange) {
+	p := codegen.Params{
+		Precision: matrix.Double, Algorithm: codegen.BA,
+		Mwg: 16, Nwg: 16, Kwg: 8, MdimC: 4, NdimC: 4, MdimA: 4, NdimB: 4,
+		Kwi: 2, VectorWidth: 1, SharedA: true, SharedB: true,
+		LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL,
+	}
+	src, err := p.GenerateSource()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	prog, err := Compile(src)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	kern, err := prog.Kernel(codegen.KernelName)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m, n, k := 32, 32, 16
+	a := make([]float64, k*m)
+	bb := make([]float64, k*n)
+	c := make([]float64, m*n)
+	for i := range a {
+		a[i] = float64(i%7) * 0.25
+	}
+	for i := range bb {
+		bb[i] = float64(i%5) * 0.5
+	}
+	bound, err := kern.Bind(m, n, k, 1.0, 0.0, a, bb, c)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	bound.SetInterp(forceInterp)
+	q := clsim.NewQueue(clsim.NewContext(&clsim.Device{Spec: device.Tahiti()}))
+	nd := clsim.NDRange{
+		Global: [2]int{m / p.Mwg * p.MdimC, n / p.Nwg * p.NdimC},
+		Local:  [2]int{p.MdimC, p.NdimC},
+	}
+	return bound, q, nd
+}
+
+// BenchmarkInterpVsVM compares the AST interpreter against the bytecode
+// VM on the same generated-GEMM kernel phase. CI smokes this pair so
+// the VM's throughput claim stays continuously checked.
+func BenchmarkInterpVsVM(b *testing.B) {
+	for _, eng := range []struct {
+		name        string
+		forceInterp bool
+	}{{"interp", true}, {"vm", false}} {
+		b.Run(eng.name, func(b *testing.B) {
+			bound, q, nd := benchKernel(b, eng.forceInterp)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := q.Run(bound, nd); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestVMSpeedupOverInterpreter pins the tentpole claim: the bytecode VM
+// must run the kernel-phase workload at least 5× faster than the AST
+// interpreter. Wall-clock thresholds are inherently machine-sensitive,
+// so the bar is far below the typical measured ratio.
+func TestVMSpeedupOverInterpreter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement")
+	}
+	measure := func(forceInterp bool, iters int) time.Duration {
+		bound, q, nd := benchKernel(t, forceInterp)
+		// Warm up pools and caches.
+		if err := q.Run(bound, nd); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := q.Run(bound, nd); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	const iters = 3
+	vm := measure(false, iters)
+	interp := measure(true, iters)
+	ratio := float64(interp) / float64(vm)
+	t.Logf("interp %v, vm %v: %.1fx", interp, vm, ratio)
+	if ratio < 5 {
+		t.Errorf("VM speedup %.2fx, want >= 5x (interp %v, vm %v)", ratio, interp, vm)
+	}
+}

@@ -8,6 +8,7 @@ package codegen_test
 // same schedule in the same accumulation order.
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -21,6 +22,11 @@ import (
 	"oclgemm/internal/matrix"
 )
 
+// runGenerated executes the generated source under BOTH clc engines —
+// the bytecode VM (whose result lands in c) and the AST-interpreter
+// oracle — and fails on any bitwise divergence between them. Every
+// integration test below therefore doubles as a differential check of
+// the VM.
 func runGenerated(t *testing.T, p codegen.Params, m, n, k int,
 	alpha float64, at, bp []float64, beta float64, c []float64) {
 	t.Helper()
@@ -36,18 +42,33 @@ func runGenerated(t *testing.T, p codegen.Params, m, n, k int,
 	if err != nil {
 		t.Fatal(err)
 	}
-	bound, err := kern.Bind(m, n, k, alpha, beta, at, bp, c)
-	if err != nil {
-		t.Fatalf("bind: %v", err)
+	if err := kern.CompileBytecode(); err != nil {
+		t.Fatalf("bytecode compile: %v\n%s", err, src)
 	}
-	ctx := clsim.NewContext(&clsim.Device{Spec: device.Tahiti()})
-	q := clsim.NewQueue(ctx)
 	nd := clsim.NDRange{
 		Global: [2]int{m / p.Mwg * p.MdimC, n / p.Nwg * p.NdimC},
 		Local:  [2]int{p.MdimC, p.NdimC},
 	}
-	if err := q.Run(bound, nd); err != nil {
-		t.Fatalf("run: %v\n%s", err, src)
+	cInterp := append([]float64(nil), c...)
+	run := func(out []float64, forceInterp bool) {
+		bound, err := kern.Bind(m, n, k, alpha, beta, at, bp, out)
+		if err != nil {
+			t.Fatalf("bind: %v", err)
+		}
+		bound.SetInterp(forceInterp)
+		ctx := clsim.NewContext(&clsim.Device{Spec: device.Tahiti()})
+		q := clsim.NewQueue(ctx)
+		if err := q.Run(bound, nd); err != nil {
+			t.Fatalf("run: %v\n%s", err, src)
+		}
+	}
+	run(c, false)
+	run(cInterp, true)
+	for i := range c {
+		if math.Float64bits(c[i]) != math.Float64bits(cInterp[i]) {
+			t.Fatalf("%s: bytecode VM diverges from interpreter at C[%d]: vm=%v interp=%v",
+				p.Name(), i, c[i], cInterp[i])
+		}
 	}
 }
 

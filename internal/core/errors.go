@@ -31,6 +31,9 @@ var (
 	// ErrNoViableKernel reports a search in which every candidate
 	// failed evaluation or the correctness gate.
 	ErrNoViableKernel = errors.New("core: no viable kernel variant survived the search")
+	// ErrInvalidBudget reports a search strategy invoked with a
+	// non-positive evaluation budget.
+	ErrInvalidBudget = errors.New("core: search budget must be positive")
 	// ErrInterrupted reports a search cancelled via Options.Context;
 	// completed stage-1 work is preserved in the journal (if enabled)
 	// so a re-run resumes instead of restarting.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"oclgemm/internal/codegen"
 	"oclgemm/internal/device"
@@ -140,19 +141,35 @@ func (sm *Sampler) Mutate(p codegen.Params) codegen.Params {
 
 // StrategyResult is the outcome of a budgeted search strategy.
 type StrategyResult struct {
-	Best  Result
-	Evals int
+	// Best is the winning kernel: the highest-probe candidate that
+	// survived the correctness gate, with its stage-2 curve filled in.
+	Best Result
+	// Finalists are the gate-surviving candidates ranked by probe
+	// performance (Best is Finalists[0]).
+	Finalists []Result
+	Evals     int
 	// Trace records the best-so-far after each evaluation (for
 	// convergence plots).
 	Trace []float64
+	// Stats tallies the run with the same accounting as Search:
+	// errored evaluations are rejected per cause, never scored as
+	// 0 GFlop/s measurements.
+	Stats Stats
 }
 
 // RandomSearch evaluates `budget` uniformly drawn candidates at the
-// probe size and returns the best (with its stage-2 curve filled in).
+// probe size and returns the best gate-surviving one (with its stage-2
+// curve filled in). Errored evaluations are rejected per cause; if
+// every draw fails, the error wraps ErrNoViableKernel.
 func (t *Tuner) RandomSearch(budget int, seed int64) (*StrategyResult, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("%w: random-search budget %d", ErrInvalidBudget, budget)
+	}
 	o := t.opts
 	sm := NewSampler(o.Space, o.Device, o.Precision, seed)
 	res := &StrategyResult{}
+	var tested []Result
+	bestSoFar := 0.0
 	for i := 0; i < budget; i++ {
 		p, ok := sm.Draw()
 		if !ok {
@@ -160,39 +177,61 @@ func (t *Tuner) RandomSearch(budget int, seed int64) (*StrategyResult, error) {
 		}
 		n := ProbeSize(o.Device, &p)
 		gf, err := o.Evaluator(o.Device, &p, n)
-		if err != nil {
-			gf = 0
-		}
 		res.Evals++
-		if gf > res.Best.Probe {
-			res.Best = Result{Params: p, Probe: gf}
+		res.Stats.Measured++
+		if err != nil {
+			res.Stats.addReject(CauseOf(err), 1)
+		} else {
+			res.Stats.Tested++
+			tested = append(tested, Result{Params: p, Probe: gf})
+			if gf > bestSoFar {
+				bestSoFar = gf
+			}
 		}
-		res.Trace = append(res.Trace, res.Best.Probe)
+		res.Trace = append(res.Trace, bestSoFar)
 	}
-	t.fillCurve(&res.Best)
+	if err := t.finishStrategy(res, tested); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
 // Anneal runs simulated annealing over the parameter lattice for
 // `budget` evaluations with a geometric temperature schedule, starting
-// from a random valid configuration.
+// from a random valid configuration. Candidates whose evaluation errors
+// are rejected outright (tallied per cause in Stats) — they never
+// become the current state, so a failing kernel cannot masquerade as a
+// 0 GFlop/s measurement and absorb the walk.
 func (t *Tuner) Anneal(budget int, seed int64) (*StrategyResult, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("%w: annealing budget %d", ErrInvalidBudget, budget)
+	}
 	o := t.opts
 	sm := NewSampler(o.Space, o.Device, o.Precision, seed)
 	cur, ok := sm.Draw()
 	if !ok {
 		return nil, fmt.Errorf("core: annealing found no valid starting point")
 	}
-	eval := func(p *codegen.Params) float64 {
-		gf, err := o.Evaluator(o.Device, p, ProbeSize(o.Device, p))
+	res := &StrategyResult{}
+	var tested []Result
+	bestSoFar := 0.0
+	evalOne := func(p codegen.Params) (float64, bool) {
+		gf, err := o.Evaluator(o.Device, &p, ProbeSize(o.Device, &p))
+		res.Evals++
+		res.Stats.Measured++
 		if err != nil {
-			return 0
+			res.Stats.addReject(CauseOf(err), 1)
+			return 0, false
 		}
-		return gf
+		res.Stats.Tested++
+		tested = append(tested, Result{Params: p, Probe: gf})
+		if gf > bestSoFar {
+			bestSoFar = gf
+		}
+		return gf, true
 	}
-	curGF := eval(&cur)
-	res := &StrategyResult{Best: Result{Params: cur, Probe: curGF}, Evals: 1,
-		Trace: []float64{curGF}}
+	curGF, curOK := evalOne(cur)
+	res.Trace = append(res.Trace, bestSoFar)
 
 	peak := o.Device.PeakGFlops(o.Precision)
 	// Temperature in GFlop/s: start accepting ~10%-of-peak regressions,
@@ -202,18 +241,48 @@ func (t *Tuner) Anneal(budget int, seed int64) (*StrategyResult, error) {
 		frac := float64(i) / float64(budget)
 		temp := t0 * math.Pow(t1/t0, frac)
 		cand := sm.Mutate(cur)
-		gf := eval(&cand)
-		res.Evals++
-		if gf >= curGF || sm.rng.Float64() < math.Exp((gf-curGF)/temp) {
-			cur, curGF = cand, gf
+		gf, evalOK := evalOne(cand)
+		if evalOK && (!curOK || gf >= curGF || sm.rng.Float64() < math.Exp((gf-curGF)/temp)) {
+			cur, curGF, curOK = cand, gf, true
 		}
-		if gf > res.Best.Probe {
-			res.Best = Result{Params: cand, Probe: gf}
-		}
-		res.Trace = append(res.Trace, res.Best.Probe)
+		res.Trace = append(res.Trace, bestSoFar)
 	}
-	t.fillCurve(&res.Best)
+	if err := t.finishStrategy(res, tested); err != nil {
+		return nil, err
+	}
 	return res, nil
+}
+
+// finishStrategy turns a strategy's raw measurements into a gated
+// selection: rank by probe performance, collapse repeated parameter
+// sets, run the correctness gate over the top candidates (when
+// Options.Verify is on — exactly the gate Search applies), and fill the
+// stage-2 curve of the surviving winner.
+func (t *Tuner) finishStrategy(res *StrategyResult, tested []Result) error {
+	if len(tested) == 0 {
+		return fmt.Errorf("%w: all %d strategy evaluations failed (%s)",
+			ErrNoViableKernel, res.Evals, rejectSummary(res.Stats.RejectedBy))
+	}
+	sort.SliceStable(tested, func(i, j int) bool { return tested[i].Probe > tested[j].Probe })
+	seen := make(map[codegen.Params]struct{}, len(tested))
+	ranked := make([]Result, 0, len(tested))
+	for _, r := range tested {
+		if _, dup := seen[r.Params]; dup {
+			continue
+		}
+		seen[r.Params] = struct{}{}
+		ranked = append(ranked, r)
+	}
+	finalists, verified := t.gateFinalists(t.opts.Context, ranked, t.opts.Finalists, &res.Stats)
+	res.Stats.Verified = verified
+	if len(finalists) == 0 {
+		return fmt.Errorf("%w: every strategy candidate failed the correctness gate",
+			ErrNoViableKernel)
+	}
+	res.Finalists = finalists
+	res.Best = finalists[0]
+	t.fillCurve(&res.Best)
+	return nil
 }
 
 // fillCurve computes the stage-2 curve for a strategy's winner.

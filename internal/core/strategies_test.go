@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 
 	"oclgemm/internal/codegen"
@@ -128,6 +130,141 @@ func TestStrategiesReachExhaustiveBand(t *testing.T) {
 	}
 	if ann.Best.Best > 1.02*ex.Best.Best {
 		t.Errorf("anneal best %.0f implausibly above exhaustive %.0f", ann.Best.Best, ex.Best.Best)
+	}
+}
+
+// A strategy whose every evaluation errors must return the typed
+// no-viable-kernel error — never a winner with zero-value Params.
+func TestStrategiesAllFailingEvaluatorReturnsTypedError(t *testing.T) {
+	eval := func(d *device.Spec, p *codegen.Params, n int) (float64, error) {
+		return 0, fmt.Errorf("%w: broken driver", ErrCompile)
+	}
+	tn, err := New(Options{Device: device.Tahiti(), Precision: matrix.Single, Evaluator: eval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, run := range map[string]func() (*StrategyResult, error){
+		"random": func() (*StrategyResult, error) { return tn.RandomSearch(50, 1) },
+		"anneal": func() (*StrategyResult, error) { return tn.Anneal(50, 1) },
+	} {
+		res, err := run()
+		if !errors.Is(err, ErrNoViableKernel) {
+			t.Errorf("%s: want ErrNoViableKernel, got %v", name, err)
+		}
+		if res != nil {
+			t.Errorf("%s: want nil result alongside error, got Best=%s", name, res.Best.Params.Name())
+		}
+	}
+}
+
+// A non-positive budget is a caller bug: both strategies must reject it
+// up front with the typed error rather than burning evaluations or
+// dividing by zero in the cooling schedule.
+func TestStrategiesInvalidBudget(t *testing.T) {
+	evals := 0
+	eval := func(d *device.Spec, p *codegen.Params, n int) (float64, error) {
+		evals++
+		return 1, nil
+	}
+	tn, err := New(Options{Device: device.Tahiti(), Precision: matrix.Single, Evaluator: eval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{0, -3} {
+		if _, err := tn.RandomSearch(budget, 1); !errors.Is(err, ErrInvalidBudget) {
+			t.Errorf("RandomSearch(%d): want ErrInvalidBudget, got %v", budget, err)
+		}
+		if _, err := tn.Anneal(budget, 1); !errors.Is(err, ErrInvalidBudget) {
+			t.Errorf("Anneal(%d): want ErrInvalidBudget, got %v", budget, err)
+		}
+	}
+	if evals != 0 {
+		t.Errorf("invalid budgets burned %d evaluations", evals)
+	}
+}
+
+// Errored evaluations land in the per-cause reject tally — the paper's
+// failed-in-compilation/testing accounting — instead of being scored as
+// 0 GFlop/s, and an annealing walk never adopts an errored candidate.
+func TestStrategyStatsRejectTally(t *testing.T) {
+	eval := func(d *device.Spec, p *codegen.Params, n int) (float64, error) {
+		if p.Algorithm == codegen.DB {
+			return 0, fmt.Errorf("%w: DB broken", ErrCompile)
+		}
+		return float64(p.Mwg), nil
+	}
+	tn, err := New(Options{Device: device.Tahiti(), Precision: matrix.Single, Evaluator: eval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, run := range map[string]func() (*StrategyResult, error){
+		"random": func() (*StrategyResult, error) { return tn.RandomSearch(200, 9) },
+		"anneal": func() (*StrategyResult, error) { return tn.Anneal(200, 9) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Best.Params.Algorithm == codegen.DB {
+			t.Errorf("%s: winner uses the always-failing algorithm", name)
+		}
+		if res.Stats.RejectedBy[RejectCompile] == 0 {
+			t.Errorf("%s: compile failures not tallied: %v", name, res.Stats.RejectedBy)
+		}
+		if res.Stats.Tested+res.Stats.RejectedBy[RejectCompile] != res.Stats.Measured {
+			t.Errorf("%s: tested %d + rejects %d != measured %d", name,
+				res.Stats.Tested, res.Stats.RejectedBy[RejectCompile], res.Stats.Measured)
+		}
+		if res.Stats.Measured != res.Evals {
+			t.Errorf("%s: measured %d != evals %d", name, res.Stats.Measured, res.Evals)
+		}
+	}
+}
+
+// With Verify on, strategy winners pass through the same correctness
+// gate as Search: disqualified kernels are skipped (and tallied) and
+// the best surviving candidate wins.
+func TestStrategyWinnersAreGated(t *testing.T) {
+	tn, err := New(Options{Device: device.Tahiti(), Precision: matrix.Single,
+		Verify:    true,
+		Finalists: 3,
+		Verifier: func(d *device.Spec, p *codegen.Params) error {
+			if p.VectorWidth != 1 {
+				return fmt.Errorf("%w: synthetic disqualification", ErrWrongResult)
+			}
+			return nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tn.RandomSearch(200, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Params.VectorWidth != 1 {
+		t.Errorf("winner %s did not pass the gate", res.Best.Params.Name())
+	}
+	if len(res.Finalists) == 0 || res.Finalists[0].Params != res.Best.Params {
+		t.Error("Best must be the top-ranked finalist")
+	}
+	for _, f := range res.Finalists {
+		if f.Params.VectorWidth != 1 {
+			t.Errorf("finalist %s did not pass the gate", f.Params.Name())
+		}
+	}
+	if res.Stats.Verified != len(res.Finalists) {
+		t.Errorf("Verified = %d, want %d", res.Stats.Verified, len(res.Finalists))
+	}
+
+	// A gate that rejects everything surfaces the typed error.
+	tn2, err := New(Options{Device: device.Tahiti(), Precision: matrix.Single,
+		Verify:   true,
+		Verifier: func(d *device.Spec, p *codegen.Params) error { return ErrWrongResult }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn2.RandomSearch(50, 13); !errors.Is(err, ErrNoViableKernel) {
+		t.Errorf("all-rejecting gate: want ErrNoViableKernel, got %v", err)
 	}
 }
 

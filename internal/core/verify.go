@@ -5,6 +5,8 @@ import (
 	"math/rand"
 
 	"oclgemm/internal/blas"
+	"oclgemm/internal/clc"
+	"oclgemm/internal/clsim"
 	"oclgemm/internal/codegen"
 	"oclgemm/internal/device"
 	"oclgemm/internal/gemmimpl"
@@ -17,10 +19,12 @@ import (
 // runtime; fault-injection harnesses substitute their own.
 type Verifier func(d *device.Spec, p *codegen.Params) error
 
-// VerifyParams is the paper's "passed testing" step: run the generated
-// kernel through the clsim runtime on a small problem whose dimensions
-// are not multiples of the blocking factors (exercising padding), and
-// compare against the internal/blas reference. A mismatch returns an
+// VerifyParams is the paper's "passed testing" step, at full strength:
+// first the native Go kernel runs on a small problem whose dimensions
+// are not multiples of the blocking factors (exercising padding), then
+// the generated OpenCL C source itself runs through the clc bytecode VM
+// at a realistic multi-work-group size (VerifySource). Both are
+// compared against the internal/blas reference. A mismatch returns an
 // error wrapping ErrWrongResult; a failure to build or launch wraps
 // ErrCompile.
 func VerifyParams(d *device.Spec, p *codegen.Params) error {
@@ -29,9 +33,76 @@ func VerifyParams(d *device.Spec, p *codegen.Params) error {
 		return fmt.Errorf("%w: %v", ErrCompile, err)
 	}
 	if p.Precision == matrix.Double {
-		return verifyImpl[float64](im, p)
+		err = verifyImpl[float64](im, p)
+	} else {
+		err = verifyImpl[float32](im, p)
 	}
-	return verifyImpl[float32](im, p)
+	if err != nil {
+		return err
+	}
+	return VerifySource(d, p)
+}
+
+// VerifySource checks the generated OpenCL C text end to end: generate,
+// compile with clc, and execute on the simulated runtime's bytecode VM
+// at a multi-work-group size (2×2 work-groups, two full k-blocks) so
+// the schedule's staging, barriers and unrolled loops all execute as
+// they would on a device. A loop-fuel bound turns pathological
+// non-terminating kernels into ErrCompile faults instead of hangs.
+func VerifySource(d *device.Spec, p *codegen.Params) error {
+	if p.Precision == matrix.Double {
+		return verifySource[float64](d, p)
+	}
+	return verifySource[float32](d, p)
+}
+
+func verifySource[T matrix.Scalar](d *device.Spec, p *codegen.Params) error {
+	m, n, k := 2*p.Mwg, 2*p.Nwg, 2*p.Kwg
+	src, err := p.GenerateSource()
+	if err != nil {
+		return fmt.Errorf("%w: generate: %v", ErrCompile, err)
+	}
+	prog, err := clc.Compile(src)
+	if err != nil {
+		return fmt.Errorf("%w: clc: %v", ErrCompile, err)
+	}
+	kern, err := prog.Kernel(codegen.KernelName)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCompile, err)
+	}
+	// A distinct seed from verifyImpl so the two stages never mask the
+	// same data-dependent bug.
+	rng := rand.New(rand.NewSource(43))
+	a := matrix.New[T](m, k, matrix.RowMajor)
+	b := matrix.New[T](k, n, matrix.RowMajor)
+	c := matrix.New[T](m, n, matrix.RowMajor)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	c.FillRandom(rng)
+	want := c.Clone()
+	blas.GEMM(blas.NoTrans, blas.NoTrans, T(1.5), a, b, T(-0.25), want)
+
+	at := matrix.Pack(a, true, k, m, p.Kwg, p.Mwg, p.LayoutA)
+	bp := matrix.Pack(b, false, k, n, p.Kwg, p.Nwg, p.LayoutB)
+	bound, err := kern.Bind(m, n, k, T(1.5), T(-0.25), at.Data, bp.Data, c.Data)
+	if err != nil {
+		return fmt.Errorf("%w: bind: %v", ErrCompile, err)
+	}
+	bound.SetFuel(1 << 24)
+	q := clsim.NewQueue(clsim.NewContext(&clsim.Device{Spec: d}))
+	nd := clsim.NDRange{
+		Global: [2]int{m / p.Mwg * p.MdimC, n / p.Nwg * p.NdimC},
+		Local:  [2]int{p.MdimC, p.NdimC},
+	}
+	if err := q.Run(bound, nd); err != nil {
+		return fmt.Errorf("%w: source run: %v", ErrCompile, err)
+	}
+	tol := matrix.Tolerance(p.Precision, k)
+	if diff := matrix.MaxRelDiff(c, want); diff > tol {
+		return fmt.Errorf("%w: generated source max rel diff %g (tol %g) vs reference on %dx%dx%d",
+			ErrWrongResult, diff, tol, m, n, k)
+	}
+	return nil
 }
 
 func verifyImpl[T matrix.Scalar](im *gemmimpl.Impl, p *codegen.Params) error {
