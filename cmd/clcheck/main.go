@@ -4,14 +4,19 @@
 // clc bytecode VM — the engine that executes kernels by default. Exit
 // status 0 when every file checks.
 //
-// Usage: clcheck [-v] [-interp] file.cl [file2.cl ...]
+// Usage: clcheck [-v] [-interp] [-dump-bytecode] file.cl [file2.cl ...]
 // With no arguments, reads a single translation unit from stdin.
+// -dump-bytecode disassembles each kernel's compiled and optimized
+// instruction streams so optimizer regressions are diagnosable.
 //
 // clcheck -selfcheck generates a grid of GEMM kernels across schedules
 // and precisions, executes each on the simulated runtime, and verifies
 // the results against the reference BLAS, reporting per-kernel
-// simulated throughput. -interp forces the AST interpreter (the
-// differential oracle) instead of the bytecode VM in both modes.
+// simulated throughput; it then property-checks generated source across
+// the whole valid small-tile parameter grid against the native Go
+// kernels (exact match in double precision). -interp forces the AST
+// interpreter (the differential oracle) instead of the bytecode VM in
+// both modes; -noopt runs the VM on unoptimized bytecode.
 package main
 
 import (
@@ -26,7 +31,9 @@ import (
 	"oclgemm/internal/clc"
 	"oclgemm/internal/clsim"
 	"oclgemm/internal/codegen"
+	"oclgemm/internal/core"
 	"oclgemm/internal/device"
+	"oclgemm/internal/kernels"
 	"oclgemm/internal/matrix"
 )
 
@@ -43,17 +50,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("clcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: clcheck [-v] [-interp] [file.cl ...]\n       clcheck -selfcheck [-interp]\n")
+		fmt.Fprintf(stderr, "usage: clcheck [-v] [-interp] [-dump-bytecode] [file.cl ...]\n       clcheck -selfcheck [-interp] [-noopt]\n")
 		fs.PrintDefaults()
 	}
 	verbose := fs.Bool("v", false, "list kernels and their parameters")
 	interp := fs.Bool("interp", false, "force the AST interpreter instead of the bytecode VM")
-	selfcheck := fs.Bool("selfcheck", false, "generate a grid of GEMM kernels, execute them, and verify against the reference BLAS")
+	noopt := fs.Bool("noopt", false, "run the VM on unoptimized bytecode (differential escape hatch)")
+	dump := fs.Bool("dump-bytecode", false, "disassemble each kernel's compiled and optimized bytecode")
+	selfcheck := fs.Bool("selfcheck", false, "generate a grid of GEMM kernels, execute them, and verify against the reference BLAS and the native Go kernels")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *selfcheck {
-		return selfCheck(stdout, stderr, *interp)
+		return selfCheck(stdout, stderr, *interp, *noopt)
 	}
 
 	failed := 0
@@ -74,6 +83,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			}
 		}
 		fmt.Fprintf(stdout, "%s: OK (%d kernel(s))\n", name, len(prog.Kernels))
+		if *dump {
+			for _, k := range prog.Kernels {
+				for _, opt := range []bool{false, true} {
+					label := "compiled"
+					if opt {
+						label = "optimized"
+					}
+					asm, err := k.Disassemble(opt)
+					if err != nil {
+						fmt.Fprintf(stderr, "%s: kernel %s: disassemble: %v\n", name, k.Name, err)
+						failed++
+						continue
+					}
+					fmt.Fprintf(stdout, "\n; kernel %s (%s)\n%s", k.Name, label, asm)
+				}
+			}
+		}
 		if *verbose {
 			for _, k := range prog.Kernels {
 				fmt.Fprintf(stdout, "  __kernel %s(", k.Name)
@@ -143,10 +169,13 @@ func selfCheckGrid() []codegen.Params {
 	return grid
 }
 
-func selfCheck(stdout, stderr io.Writer, forceInterp bool) error {
+func selfCheck(stdout, stderr io.Writer, forceInterp, noOpt bool) error {
 	engine := "bytecode"
-	if forceInterp {
+	switch {
+	case forceInterp:
 		engine = "interp"
+	case noOpt:
+		engine = "bytecode-noopt"
 	}
 	grid := selfCheckGrid()
 	fmt.Fprintf(stdout, "self-check: %d kernel configurations, engine=%s\n", len(grid), engine)
@@ -155,9 +184,9 @@ func selfCheck(stdout, stderr io.Writer, forceInterp bool) error {
 		var err error
 		var elapsed time.Duration
 		if p.Precision == matrix.Double {
-			elapsed, err = execAndVerify[float64](p, forceInterp)
+			elapsed, err = execAndVerify[float64](p, forceInterp, noOpt)
 		} else {
-			elapsed, err = execAndVerify[float32](p, forceInterp)
+			elapsed, err = execAndVerify[float32](p, forceInterp, noOpt)
 		}
 		if err != nil {
 			fmt.Fprintf(stderr, "%-44s FAIL: %v\n", p.Name(), err)
@@ -173,13 +202,132 @@ func selfCheck(stdout, stderr io.Writer, forceInterp bool) error {
 		return fmt.Errorf("self-check: %d/%d kernels failed", failed, len(grid))
 	}
 	fmt.Fprintf(stdout, "self-check: all %d kernels verified against reference BLAS\n", len(grid))
+	if forceInterp {
+		// The whole-grid sweep below is what the optimizer's speedup
+		// paid for; at interpreter speed it would blow the time budget.
+		fmt.Fprintf(stdout, "whole-grid: skipped under -interp (run the bytecode engine)\n")
+		return nil
+	}
+	return wholeGridCheck(stdout, stderr, noOpt)
+}
+
+// wholeGridSpace is the parameter space the whole-grid property check
+// sweeps: the smallest block sizes the generator supports, crossed with
+// EVERY structural dimension — algorithm, staging, reshape divisors,
+// unroll, vector width, stride modes, and layouts. Unlike the sampled
+// random-config property tests, every valid point in this space runs.
+func wholeGridSpace() core.Space {
+	return core.Space{
+		Mwg: []int{8, 16}, Nwg: []int{8, 16}, Kwg: []int{4, 8},
+		MdimC: []int{4}, NdimC: []int{4},
+		ReshapeDivisors: []int{2, 4},
+		Kwi:             []int{1, 2},
+		VectorWidths:    []int{1, 2},
+		Algorithms:      codegen.Algorithms,
+		Shared: []core.SharedMode{
+			{A: false, B: false}, {A: true, B: false}, {A: false, B: true}, {A: true, B: true},
+		},
+		Strides: []core.StrideMode{
+			{M: false, N: false}, {M: true, N: false}, {M: false, N: true}, {M: true, N: true},
+		},
+		Layouts: []core.LayoutPair{
+			{A: matrix.LayoutCBL, B: matrix.LayoutCBL},
+			{A: matrix.LayoutCBL, B: matrix.LayoutRBL},
+			{A: matrix.LayoutRBL, B: matrix.LayoutRBL},
+			{A: matrix.LayoutRowMajor, B: matrix.LayoutRowMajor},
+		},
+		MaxWorkItemTile: 16,
+		MinWorkGroup:    16,
+		MaxWorkGroup:    256,
+	}
+}
+
+// wholeGridCheck executes generated source through the VM for every
+// valid parameter set in wholeGridSpace and demands an exact
+// (bit-identical) match against the native Go kernels, which run the
+// same schedule in the same accumulation order in double precision.
+func wholeGridCheck(stdout, stderr io.Writer, noOpt bool) error {
+	dev := device.Tahiti()
+	start := time.Now()
+	ran, failed := 0, 0
+	valid, rejected := wholeGridSpace().Enumerate(dev, matrix.Double, func(p codegen.Params) bool {
+		ran++
+		if err := gridExecOne(p, noOpt); err != nil {
+			fmt.Fprintf(stderr, "whole-grid %-44s FAIL: %v\n", p.Name(), err)
+			failed++
+		}
+		return failed < 20 // don't drown the log when something is systemically broken
+	})
+	if failed > 0 {
+		return fmt.Errorf("whole-grid: %d/%d kernels failed", failed, ran)
+	}
+	fmt.Fprintf(stdout, "whole-grid: %d kernels bit-identical to native Go kernels (%d invalid rejected) in %.1fs\n",
+		valid, rejected, time.Since(start).Seconds())
+	return nil
+}
+
+// gridExecOne runs one whole-grid point: generated source on the VM vs
+// the native Go kernel, exact match required.
+func gridExecOne(p codegen.Params, noOpt bool) error {
+	m, n, k := 2*p.Mwg, 2*p.Nwg, 2*p.Kwg
+	src, err := p.GenerateSource()
+	if err != nil {
+		return fmt.Errorf("generate: %v", err)
+	}
+	prog, err := clc.Compile(src)
+	if err != nil {
+		return fmt.Errorf("compile: %v", err)
+	}
+	kern, err := prog.Kernel(codegen.KernelName)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(31))
+	a := matrix.New[float64](m, k, matrix.RowMajor)
+	b := matrix.New[float64](k, n, matrix.RowMajor)
+	c := matrix.New[float64](m, n, matrix.RowMajor)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	c.FillRandom(rng)
+	alpha, beta := 1.5, -0.25
+	at := matrix.Pack(a, true, k, m, p.Kwg, p.Mwg, p.LayoutA)
+	bp := matrix.Pack(b, false, k, n, p.Kwg, p.Nwg, p.LayoutB)
+	ctx := clsim.NewContext(&clsim.Device{Spec: device.Tahiti()})
+	q := clsim.NewQueue(ctx)
+
+	cGen := c.Clone()
+	bound, err := kern.Bind(m, n, k, alpha, beta, at.Data, bp.Data, cGen.Data)
+	if err != nil {
+		return fmt.Errorf("bind: %v", err)
+	}
+	bound.SetOptimize(!noOpt)
+	bound.SetFuel(1 << 24)
+	nd := clsim.NDRange{
+		Global: [2]int{m / p.Mwg * p.MdimC, n / p.Nwg * p.NdimC},
+		Local:  [2]int{p.MdimC, p.NdimC},
+	}
+	if err := q.Run(bound, nd); err != nil {
+		return fmt.Errorf("run: %v", err)
+	}
+
+	cNat := c.Clone()
+	nat, err := kernels.NewGEMM(p, m, n, k, alpha, at.Data, bp.Data, beta, cNat.Data)
+	if err != nil {
+		return fmt.Errorf("native kernel: %v", err)
+	}
+	if err := q.RunLockstep(nat, nat.NDRange()); err != nil {
+		return fmt.Errorf("native run: %v", err)
+	}
+	if d := matrix.MaxRelDiff(cGen, cNat); d != 0 {
+		return fmt.Errorf("VM output differs from native Go kernel by %g (want exact)", d)
+	}
 	return nil
 }
 
 // execAndVerify generates p's source, compiles it, runs it on the
 // simulated runtime under the selected engine at a multi-work-group
 // size, and compares the result against the reference BLAS.
-func execAndVerify[T matrix.Scalar](p codegen.Params, forceInterp bool) (time.Duration, error) {
+func execAndVerify[T matrix.Scalar](p codegen.Params, forceInterp, noOpt bool) (time.Duration, error) {
 	m, n, k := 2*p.Mwg, 2*p.Nwg, 2*p.Kwg
 	src, err := p.GenerateSource()
 	if err != nil {
@@ -210,6 +358,7 @@ func execAndVerify[T matrix.Scalar](p codegen.Params, forceInterp bool) (time.Du
 		return 0, fmt.Errorf("bind: %v", err)
 	}
 	bound.SetInterp(forceInterp)
+	bound.SetOptimize(!noOpt)
 	bound.SetFuel(1 << 24)
 	q := clsim.NewQueue(clsim.NewContext(&clsim.Device{Spec: device.Tahiti()}))
 	nd := clsim.NDRange{

@@ -79,6 +79,32 @@ func TestRunInterpFlag(t *testing.T) {
 	}
 }
 
+// TestDumpBytecode: -dump-bytecode disassembles both the compiled and
+// the optimized instruction stream for every kernel, and the optimizer
+// visibly fired (fused multiply-accumulate present, header counts).
+func TestDumpBytecode(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-dump-bytecode"}, strings.NewReader(genKernel(t)), &out, &errOut); err != nil {
+		t.Fatalf("run(-dump-bytecode): %v\nstderr: %s", err, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"; kernel", "(compiled)", "(optimized)", "instrs", "checkidx", "madacc"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("dump output missing %q", want)
+		}
+	}
+}
+
+func TestRunNooptFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-noopt"}, strings.NewReader(genKernel(t)), &out, &errOut); err != nil {
+		t.Fatalf("run(-noopt): %v", err)
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Errorf("output missing OK: %q", out.String())
+	}
+}
+
 // The self-check executes every grid kernel against the reference BLAS
 // under both engines.
 func TestSelfCheck(t *testing.T) {

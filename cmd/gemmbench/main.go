@@ -59,7 +59,11 @@ import (
 	"time"
 
 	"oclgemm"
+	"oclgemm/internal/clc"
+	"oclgemm/internal/clsim"
+	"oclgemm/internal/codegen"
 	"oclgemm/internal/core"
+	"oclgemm/internal/device"
 	"oclgemm/internal/experiments"
 	"oclgemm/internal/faultinject"
 	"oclgemm/internal/matrix"
@@ -273,6 +277,15 @@ func runInstrumented(stdout io.Writer, pool, showMetrics bool, tracePath, benchO
 		rep.GFlops = gflops
 		rep.Phases = phases
 		rep.Metrics = reg.Snapshot()
+		entries, err := vmPhaseEntries()
+		if err != nil {
+			return fmt.Errorf("vm phase: %w", err)
+		}
+		rep.Entries = entries
+		fmt.Fprintf(stdout, "\nclc VM kernel phase (generated GEMM source on the simulated runtime):\n")
+		for _, e := range entries {
+			fmt.Fprintf(stdout, "  %-12s %10.6fs %10.3f MFlop/s simulated\n", e.Name, e.WallSeconds, e.GFlops*1e3)
+		}
 		f, err := os.Create(benchOut)
 		if err != nil {
 			return err
@@ -287,6 +300,79 @@ func runInstrumented(stdout io.Writer, pool, showMetrics bool, tracePath, benchO
 		fmt.Fprintf(stdout, "\nbenchmark report written to %s\n", benchOut)
 	}
 	return nil
+}
+
+// vmPhaseEntries times the clc engine on the committed
+// BenchmarkInterpVsVM kernel phase — the optimized bytecode VM, the raw
+// (unoptimized) bytecode, and the AST interpreter — so the
+// BENCH_gemm.json report tracks the source-execution engine's
+// throughput alongside the native phases (ROADMAP: VM phase in the
+// benchmark report).
+func vmPhaseEntries() ([]oclgemm.BenchEntry, error) {
+	p := codegen.Params{
+		Precision: matrix.Double, Algorithm: codegen.BA,
+		Mwg: 16, Nwg: 16, Kwg: 8, MdimC: 4, NdimC: 4, MdimA: 4, NdimB: 4,
+		Kwi: 2, VectorWidth: 1, SharedA: true, SharedB: true,
+		LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL,
+	}
+	src, err := p.GenerateSource()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := clc.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	kern, err := prog.Kernel(codegen.KernelName)
+	if err != nil {
+		return nil, err
+	}
+	m, n, k := 32, 32, 16
+	a := make([]float64, k*m)
+	b := make([]float64, k*n)
+	c := make([]float64, m*n)
+	rng := rand.New(rand.NewSource(5))
+	for i := range a {
+		a[i] = rng.Float64()*2 - 1
+	}
+	for i := range b {
+		b[i] = rng.Float64()*2 - 1
+	}
+	q := clsim.NewQueue(clsim.NewContext(&clsim.Device{Spec: device.Tahiti()}))
+	nd := clsim.NDRange{
+		Global: [2]int{m / p.Mwg * p.MdimC, n / p.Nwg * p.NdimC},
+		Local:  [2]int{p.MdimC, p.NdimC},
+	}
+	const iters = 10
+	flops := 2 * float64(m) * float64(n) * float64(k)
+	legs := []struct {
+		name                  string
+		forceInterp, optimize bool
+	}{{"clcvm", false, true}, {"clcvm-noopt", false, false}, {"clcvm-interp", true, false}}
+	out := make([]oclgemm.BenchEntry, 0, len(legs))
+	for _, leg := range legs {
+		bound, err := kern.Bind(m, n, k, 1.0, 0.0, a, b, c)
+		if err != nil {
+			return nil, err
+		}
+		bound.SetInterp(leg.forceInterp)
+		bound.SetOptimize(leg.optimize)
+		if err := q.Run(bound, nd); err != nil { // warm-up
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := q.Run(bound, nd); err != nil {
+				return nil, err
+			}
+		}
+		wall := time.Since(start).Seconds()
+		out = append(out, oclgemm.BenchEntry{
+			Name: leg.name, Iters: iters, WallSeconds: wall,
+			GFlops: float64(iters) * flops / wall / 1e9,
+		})
+	}
+	return out, nil
 }
 
 // runMicro A/B-tests the micro-kernel specialization layer: the same

@@ -223,10 +223,14 @@ type KernelDecl struct {
 	Body   *Block
 
 	// Bytecode compilation is cached per declaration: the program
-	// depends only on the AST, so every Bind shares one compile.
+	// depends only on the AST, so every Bind shares one compile. The
+	// optimized program is cached the same way (see optimize.go).
 	compileOnce sync.Once
 	compiled    *compiledKernel
 	compileErr  error
+
+	optimizeOnce  sync.Once
+	optimizedProg *compiledKernel
 }
 
 // Program is a parsed translation unit.

@@ -45,6 +45,22 @@ const (
 	opAllocArr                 // arrs[a] = fresh zeroed array defs[imm]
 	opErr                      // panic errs[imm]
 	opHalt                     // end of kernel body
+
+	// Optimizer-emitted opcodes (see optimize.go). The compiler never
+	// produces these; they exist only in optimized programs.
+	opLoadK     // r[dst] = arrs[a][imm], bounds statically proven
+	opStoreK    // arrs[a][imm] = r[c], bounds statically proven
+	opLoadBin   // r[dst] = arrs[slot][r[b]] <op> r[a] (imm packs op/side/slot)
+	opBinStore  // arrs[slot][r[c]] = r[a] <op> r[b] (imm packs op/slot)
+	opLoadStore // arrs[dslot][r[c]] = arrs[sslot][r[b]] (imm packs sslot/dslot)
+	opLoadMad   // r[dst] = r[a]*r[b] + arrs[imm][r[c]]
+	opMadAcc    // arrs[imm][r[c]] = r[a]*r[b] + arrs[imm][r[c]]
+	opMadAccD   // opMadAcc with proven double-scalar operands and elements
+	opMadAccF   // opMadAcc with proven float-scalar operands and elements
+	opLoadD     // opLoad with proven double-scalar element and int index
+	opLoadF     // opLoad with proven float-scalar element and int index
+	opStoreD    // opStore with proven double-scalar value and element
+	opStoreF    // opStore with proven float-scalar value and element
 )
 
 // Work-item query selectors (opWI.imm).
@@ -110,8 +126,11 @@ type arrayDef struct {
 // is shared by every Bind of the declaration and by all work-items;
 // per-item state lives in pooled vmFrames.
 type compiledKernel struct {
-	code   []instr
-	ex     []Expr // per-instruction error-position context (may be nil)
+	code []instr
+	ex   []Expr // per-instruction error-position context (may be nil)
+	ex2  []Expr // second fault-site position for fused instructions;
+	// compileKernel aliases it to ex (the two sites coincide until the
+	// optimizer fuses instruction pairs with distinct source positions).
 	consts []value
 	types  []Type
 	defs   []arrayDef
@@ -137,6 +156,17 @@ type compiledKernel struct {
 func (k *KernelDecl) bytecode() *compiledKernel {
 	k.compileOnce.Do(func() { k.compiled, k.compileErr = compileKernel(k) })
 	return k.compiled
+}
+
+// bytecodeOptimized runs (once) the optimizer over the compiled
+// program. Nil when compilation itself failed.
+func (k *KernelDecl) bytecodeOptimized() *compiledKernel {
+	k.optimizeOnce.Do(func() {
+		if p := k.bytecode(); p != nil {
+			k.optimizedProg = optimizeKernel(k, p)
+		}
+	})
+	return k.optimizedProg
 }
 
 // CompileBytecode forces bytecode compilation and reports its error, if
@@ -211,6 +241,10 @@ func compileKernel(k *KernelDecl) (p *compiledKernel, err error) {
 	}
 	c.block(k.Body, true)
 	c.emit(instr{op: opHalt}, nil)
+	// Unoptimized programs have one fault position per instruction; the
+	// second slot aliases the first (opMad's mul and add faults share
+	// the mad call's position until the optimizer fuses distinct sites).
+	c.p.ex2 = c.p.ex
 	return c.p, nil
 }
 

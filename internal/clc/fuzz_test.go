@@ -45,7 +45,8 @@ func FuzzCompile(f *testing.F) {
 // the whole pipeline (compile → bind → run) never panics outside the
 // executor's error channel — and that the bytecode VM and the AST
 // interpreter agree bit-for-bit on every surviving input, including on
-// whether the run faults.
+// whether the run faults. The VM leg runs with the optimizer both on
+// and off, so every fuzz input is also an optimizer differential test.
 func FuzzInterpretTinyKernel(f *testing.F) {
 	bodies := []string{
 		"o[gid] = 1.0;",
@@ -69,7 +70,7 @@ func FuzzInterpretTinyKernel(f *testing.F) {
 		if err != nil {
 			return
 		}
-		run := func(forceInterp bool) ([]float64, error) {
+		run := func(forceInterp, optimize bool) ([]float64, error) {
 			buf := make([]float64, 8)
 			for i := range buf {
 				buf[i] = float64(i) * 0.125
@@ -79,6 +80,7 @@ func FuzzInterpretTinyKernel(f *testing.F) {
 				return nil, err
 			}
 			bk.SetInterp(forceInterp)
+			bk.SetOptimize(optimize)
 			// Fuzzed bodies can contain non-terminating loops; the fuel
 			// budget turns those into deterministic faults that both
 			// engines report identically.
@@ -94,21 +96,26 @@ func FuzzInterpretTinyKernel(f *testing.F) {
 			// or deadlock.
 			return buf, q.Run(bk, clsim.NDRange{Global: [2]int{4, 1}, Local: [2]int{1, 1}})
 		}
-		vmBuf, vmErr := run(false)
-		inBuf, inErr := run(true)
-		if (vmErr == nil) != (inErr == nil) {
-			t.Fatalf("engines disagree on fault: vm=%v interp=%v", vmErr, inErr)
-		}
-		if vmErr != nil {
-			if vmErr.Error() != inErr.Error() {
-				t.Fatalf("engines disagree on fault message:\n vm:     %v\n interp: %v", vmErr, inErr)
+		vmBuf, vmErr := run(false, true)
+		check := func(name string, altBuf []float64, altErr error) {
+			if (vmErr == nil) != (altErr == nil) {
+				t.Fatalf("engines disagree on fault: vm=%v %s=%v", vmErr, name, altErr)
 			}
-			return
-		}
-		for i := range vmBuf {
-			if math.Float64bits(vmBuf[i]) != math.Float64bits(inBuf[i]) {
-				t.Fatalf("engines disagree at o[%d]: vm=%v interp=%v", i, vmBuf[i], inBuf[i])
+			if vmErr != nil {
+				if vmErr.Error() != altErr.Error() {
+					t.Fatalf("engines disagree on fault message:\n vm: %v\n %s: %v", vmErr, name, altErr)
+				}
+				return
+			}
+			for i := range vmBuf {
+				if math.Float64bits(vmBuf[i]) != math.Float64bits(altBuf[i]) {
+					t.Fatalf("engines disagree at o[%d]: vm=%v %s=%v", i, vmBuf[i], name, altBuf[i])
+				}
 			}
 		}
+		inBuf, inErr := run(true, false)
+		check("interp", inBuf, inErr)
+		rawBuf, rawErr := run(false, false)
+		check("vm-noopt", rawBuf, rawErr)
 	})
 }

@@ -115,6 +115,42 @@ func (a *arrayStore) store(idx int64, v *value, e Expr) {
 	}
 }
 
+// loadFast is loadInto without the bounds check, for accesses the
+// optimizer proved in range (opLoadK). Same lane/conversion semantics.
+func (a *arrayStore) loadFast(dst *value, idx int64) {
+	base := idx * int64(a.t.Lanes)
+	if a.t.Lanes == 1 {
+		dst.t = a.t
+		if a.f64 != nil {
+			dst.f[0] = a.f64[base]
+		} else {
+			dst.f[0] = float64(a.f32[base])
+		}
+		return
+	}
+	for l := 0; l < a.t.Lanes; l++ {
+		if a.f64 != nil {
+			dst.f[l] = a.f64[base+int64(l)]
+		} else {
+			dst.f[l] = float64(a.f32[base+int64(l)])
+		}
+	}
+	dst.t = a.t
+}
+
+// storeFast is store without the bounds check (opStoreK).
+func (a *arrayStore) storeFast(idx int64, v *value) {
+	base := idx * int64(a.t.Lanes)
+	for l := 0; l < a.t.Lanes; l++ {
+		x := v.lane(l)
+		if a.f64 != nil {
+			a.f64[base+int64(l)] = x
+		} else {
+			a.f32[base+int64(l)] = float32(x)
+		}
+	}
+}
+
 // vloadInto reads w consecutive elements starting at elementOffset*w
 // into dst (which must not alias the store).
 func (a *arrayStore) vloadInto(dst *value, w int, off int64, e Expr) {
@@ -237,6 +273,8 @@ func (k *KernelDecl) Bind(args ...any) (*BoundKernel, error) {
 		}
 	}
 	b.prog = k.bytecode()
+	b.progOpt = k.bytecodeOptimized()
+	b.noOpt = clcDisableOpt()
 	return b, nil
 }
 
@@ -247,9 +285,12 @@ type BoundKernel struct {
 	locals []*Decl
 
 	// prog is the compiled bytecode (nil when compilation failed, in
-	// which case Run falls back to the AST interpreter).
+	// which case Run falls back to the AST interpreter); progOpt is the
+	// optimized program (== prog when the optimizer made no changes).
 	prog        *compiledKernel
+	progOpt     *compiledKernel
 	forceInterp bool
+	noOpt       bool
 	fuel        int64
 }
 
@@ -259,6 +300,18 @@ func (b *BoundKernel) Name() string { return b.decl.Name }
 // SetInterp forces the AST-interpreter path — the differential oracle —
 // when on. The default runs compiled bytecode.
 func (b *BoundKernel) SetInterp(on bool) { b.forceInterp = on }
+
+// SetOptimize selects between the optimized and the straight-from-the-
+// compiler bytecode (the differential escape hatch mirroring SetInterp).
+// The default is optimized unless CLC_DISABLE_OPT is set in the
+// environment. Both programs are observationally identical: bit-equal
+// outputs, byte-equal fault strings, identical fuel accounting.
+func (b *BoundKernel) SetOptimize(on bool) { b.noOpt = !on }
+
+// Optimized reports whether Run would execute the optimized program.
+func (b *BoundKernel) Optimized() bool {
+	return b.prog != nil && !b.forceInterp && !b.noOpt && b.progOpt != nil
+}
 
 // SetFuel bounds loop back-edges per work-item: once a work-item
 // completes n loop iterations (summed across all loops) the run faults
@@ -317,7 +370,11 @@ func (b *BoundKernel) SetupGroup(g *clsim.Group) any {
 func (b *BoundKernel) Run(it *clsim.Item, sharedAny any) {
 	gs := sharedAny.(*groupState)
 	if b.prog != nil && !b.forceInterp {
-		b.prog.run(it, b.args, gs, b.fuel)
+		if p := b.progOpt; p != nil && !b.noOpt {
+			p.run(it, b.args, gs, b.fuel)
+		} else {
+			b.prog.run(it, b.args, gs, b.fuel)
+		}
 		return
 	}
 	in := &interp{item: it, fuel: b.fuel}
@@ -430,7 +487,11 @@ func (in *interp) execDecl(d *Decl) {
 	in.env.define(d.Name, v)
 }
 
-var intType = Type{Base: "int", Lanes: 1}
+var (
+	intType          = Type{Base: "int", Lanes: 1}
+	typeDoubleScalar = Type{Base: "double", Lanes: 1}
+	typeFloatScalar  = Type{Base: "float", Lanes: 1}
+)
 
 func setInt(dst *value, x int64) {
 	dst.t = intType
@@ -852,4 +913,3 @@ func (in *interp) call(c *Call) value {
 	}
 	panic(errAt(c, "unknown function %q", c.Fun))
 }
-

@@ -1,0 +1,457 @@
+package clc
+
+// Pass-level and differential tests for the bytecode optimizer
+// (optimize.go). Every test here runs with optDebugPanic enabled, so a
+// panicking pass fails the test loudly instead of silently falling back
+// to the unoptimized program — the production recover must never be the
+// reason an optimizer test goes green.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"oclgemm/internal/clsim"
+	"oclgemm/internal/codegen"
+	"oclgemm/internal/device"
+	"oclgemm/internal/matrix"
+)
+
+func withOptDebugPanic(t *testing.T) {
+	t.Helper()
+	old := optDebugPanic
+	optDebugPanic = true
+	t.Cleanup(func() { optDebugPanic = old })
+}
+
+func optQueue() *clsim.Queue {
+	return clsim.NewQueue(clsim.NewContext(&clsim.Device{Spec: device.Tahiti()}))
+}
+
+// disInstrs parses the instruction count from a disassembly header
+// ("; N instrs, R regs, A array slots").
+func disInstrs(t *testing.T, dis string) int {
+	t.Helper()
+	var n int
+	if _, err := fmt.Sscanf(dis, "; %d instrs", &n); err != nil {
+		t.Fatalf("cannot parse disassembly header %q: %v", strings.SplitN(dis, "\n", 2)[0], err)
+	}
+	return n
+}
+
+// benchParams is the committed BenchmarkInterpVsVM kernel schedule.
+func benchParams() codegen.Params {
+	return codegen.Params{
+		Precision: matrix.Double, Algorithm: codegen.BA,
+		Mwg: 16, Nwg: 16, Kwg: 8, MdimC: 4, NdimC: 4, MdimA: 4, NdimB: 4,
+		Kwi: 2, VectorWidth: 1, SharedA: true, SharedB: true,
+		LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL,
+	}
+}
+
+// TestOptimizerTransformsGeneratedGEMM asserts the individual passes
+// actually fire on the canonical generated-GEMM kernel: the inner
+// accumulator loop fuses to a typed multiply-accumulate
+// superinstruction, typed loads appear, bounds checks are elided, and
+// the instruction stream shrinks substantially.
+func TestOptimizerTransformsGeneratedGEMM(t *testing.T) {
+	withOptDebugPanic(t)
+	p := benchParams()
+	src, err := p.GenerateSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern, err := prog.Kernel(codegen.KernelName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := kern.Disassemble(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := kern.Disassemble(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No standalone "load.d" requirement: on this kernel every typed
+	// load fuses into a superinstruction, which is the stronger result.
+	for _, want := range []string{"madacc.d", "loadbin", "const"} {
+		if !strings.Contains(opt, want) {
+			t.Errorf("optimized stream lacks %q:\n%s", want, opt)
+		}
+	}
+	rawN, optN := disInstrs(t, raw), disInstrs(t, opt)
+	if optN*4 >= rawN*3 {
+		t.Errorf("optimizer shrank %d instrs only to %d; want at least 25%% reduction", rawN, optN)
+	}
+	rawChecks, optChecks := strings.Count(raw, "checkidx"), strings.Count(opt, "checkidx")
+	if rawChecks == 0 {
+		t.Fatalf("raw stream has no checkidx instructions; test is vacuous")
+	}
+	if optChecks >= rawChecks {
+		t.Errorf("bounds-check elision did not fire: raw %d checkidx, optimized %d", rawChecks, optChecks)
+	}
+	t.Logf("instrs %d -> %d, checkidx %d -> %d", rawN, optN, rawChecks, optChecks)
+}
+
+// threeWayDouble runs src under the optimized VM, the unoptimized VM,
+// and the interpreter over identical (a, b, o) float64 buffers, requires
+// bit-identical o across engines, and returns the optimized result.
+func threeWayDouble(t *testing.T, src string, a, b, o []float64) []float64 {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	kern, err := prog.Kernel("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := clsim.NDRange{Global: [2]int{4, 1}, Local: [2]int{1, 1}}
+	run := func(forceInterp, optimize bool) []float64 {
+		ac, bc, oc := append([]float64(nil), a...), append([]float64(nil), b...), append([]float64(nil), o...)
+		bk, err := kern.Bind(ac, bc, oc)
+		if err != nil {
+			t.Fatalf("bind: %v", err)
+		}
+		bk.SetInterp(forceInterp)
+		bk.SetOptimize(optimize)
+		q := optQueue()
+		q.Workers = 1
+		if err := q.Run(bk, nd); err != nil {
+			t.Fatalf("run: %v\n%s", err, src)
+		}
+		return oc
+	}
+	vm := run(false, true)
+	for name, alt := range map[string][]float64{"vm-noopt": run(false, false), "interp": run(true, false)} {
+		for i := range vm {
+			if math.Float64bits(vm[i]) != math.Float64bits(alt[i]) {
+				t.Fatalf("engines disagree at o[%d]: vm=%v %s=%v\n%s", i, vm[i], name, alt[i], src)
+			}
+		}
+	}
+	return vm
+}
+
+// threeWayFloat is threeWayDouble for float32 buffers.
+func threeWayFloat(t *testing.T, src string, a, b, o []float32) []float32 {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	kern, err := prog.Kernel("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := clsim.NDRange{Global: [2]int{4, 1}, Local: [2]int{1, 1}}
+	run := func(forceInterp, optimize bool) []float32 {
+		ac, bc, oc := append([]float32(nil), a...), append([]float32(nil), b...), append([]float32(nil), o...)
+		bk, err := kern.Bind(ac, bc, oc)
+		if err != nil {
+			t.Fatalf("bind: %v", err)
+		}
+		bk.SetInterp(forceInterp)
+		bk.SetOptimize(optimize)
+		q := optQueue()
+		q.Workers = 1
+		if err := q.Run(bk, nd); err != nil {
+			t.Fatalf("run: %v\n%s", err, src)
+		}
+		return oc
+	}
+	vm := run(false, true)
+	for name, alt := range map[string][]float32{"vm-noopt": run(false, false), "interp": run(true, false)} {
+		for i := range vm {
+			if math.Float32bits(vm[i]) != math.Float32bits(alt[i]) {
+				t.Fatalf("engines disagree at o[%d]: vm=%v %s=%v\n%s", i, vm[i], name, alt[i], src)
+			}
+		}
+	}
+	return vm
+}
+
+// TestMadFmaUnfusedContract pins the mad/fma double-rounding contract
+// (see the opMad handler comment in vm.go): mad and fma evaluate as a
+// rounded multiply followed by a rounded add — never a hardware fused
+// multiply-add — in every engine and at every optimization level,
+// across both precisions and vector widths. The operands are chosen so
+// a fused evaluation produces different bits, which the test asserts as
+// a precondition; the madacc.d/madacc.f superinstructions (the only
+// handlers where Go's compiler could legally contract the expression)
+// are explicitly exercised via the accumulate pattern.
+func TestMadFmaUnfusedContract(t *testing.T) {
+	withOptDebugPanic(t)
+	const eps29 = 1.0 / (1 << 29)
+	x, y, z := 1+eps29, 1-eps29, -1.0
+	prod := float64(x * y)
+	want := prod + z // x*y rounds to exactly 1.0 in double, so want == 0
+	if fused := math.FMA(x, y, z); math.Float64bits(fused) == math.Float64bits(want) {
+		t.Fatal("double operands do not distinguish fused from unfused evaluation")
+	}
+	lit := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+	const eps14 = float32(1.0 / (1 << 14))
+	x32, y32, z32 := 1+eps14, 1-eps14, float32(-1)
+	prod32 := float32(x32 * y32)
+	want32 := prod32 + z32 // x*y rounds to exactly 1.0f, so want32 == 0
+	if fused := float32(math.FMA(float64(x32), float64(y32), float64(z32))); math.Float32bits(fused) == math.Float32bits(want32) {
+		t.Fatal("float operands do not distinguish fused from unfused evaluation")
+	}
+
+	header := " const int gid = get_global_id(0);\n"
+	// Buffer length n is chosen so the 4 work-items cover every element:
+	// scalar bodies write o[gid] (n=4), vector bodies write lanes
+	// 2*gid/4*gid onward (n=8/n=16).
+	dcases := []struct {
+		name, body string
+		n          int
+	}{
+		// The accumulate shape lowers to madacc.d under the optimizer.
+		{"double_madacc", "o[gid] = mad(a[gid], b[gid], o[gid]);", 4},
+		{"double_fma", "o[gid] = fma(a[gid], b[gid], o[gid]);", 4},
+		{"double_literals", "o[gid] = mad(" + lit(x) + ", " + lit(y) + ", " + lit(z) + ");", 4},
+		{"double2_vector", "double2 av = vload2(gid, a); double2 bv = vload2(gid, b); double2 cv = vload2(gid, o); vstore2(mad(av, bv, cv), gid, o);", 8},
+	}
+	for _, tc := range dcases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := "__kernel void k(__global double* a, __global double* b, __global double* o)\n{\n" + header + tc.body + "\n}"
+			a, b, o := fill64(tc.n, x), fill64(tc.n, y), fill64(tc.n, z)
+			got := threeWayDouble(t, src, a, b, o)
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want) {
+					t.Fatalf("o[%d] = %v (bits %#x), want unfused %v", i, got[i], math.Float64bits(got[i]), want)
+				}
+			}
+		})
+	}
+	fcases := []struct {
+		name, body string
+		n          int
+	}{
+		{"float_madacc", "o[gid] = mad(a[gid], b[gid], o[gid]);", 4},
+		{"float_fma", "o[gid] = fma(a[gid], b[gid], o[gid]);", 4},
+		{"float4_vector", "float4 av = vload4(gid, a); float4 bv = vload4(gid, b); float4 cv = vload4(gid, o); vstore4(mad(av, bv, cv), gid, o);", 16},
+	}
+	for _, tc := range fcases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := "__kernel void k(__global float* a, __global float* b, __global float* o)\n{\n" + header + tc.body + "\n}"
+			a, b, o := fill32(tc.n, x32), fill32(tc.n, y32), fill32(tc.n, z32)
+			got := threeWayFloat(t, src, a, b, o)
+			for i := range got {
+				if math.Float32bits(got[i]) != math.Float32bits(want32) {
+					t.Fatalf("o[%d] = %v (bits %#x), want unfused %v", i, got[i], math.Float32bits(got[i]), want32)
+				}
+			}
+		})
+	}
+
+	// The accumulate kernels must actually reach the typed
+	// superinstructions, or the contract above tests the generic
+	// handler only.
+	for _, tc := range []struct{ elem, mnemonic string }{{"double", "madacc.d"}, {"float", "madacc.f"}} {
+		src := "__kernel void k(__global " + tc.elem + "* a, __global " + tc.elem + "* b, __global " + tc.elem + "* o)\n{\n" +
+			header + "o[gid] = mad(a[gid], b[gid], o[gid]);\n}"
+		prog, err := Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kern, err := prog.Kernel("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dis, err := kern.Disassemble(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(dis, tc.mnemonic) {
+			t.Errorf("%s accumulate kernel does not lower to %s:\n%s", tc.elem, tc.mnemonic, dis)
+		}
+	}
+}
+
+func fill64(n int, v float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func fill32(n int, v float32) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// generatedRunner compiles a generated schedule once and returns a
+// closure that executes it with a chosen engine and fuel budget over
+// deterministic packed inputs, returning the C buffer and run error.
+func generatedRunner(t *testing.T, p codegen.Params, seed int64) func(forceInterp, optimize bool, fuel int64) ([]float64, error) {
+	t.Helper()
+	m, n, k := 2*p.Mwg, 2*p.Nwg, 2*p.Kwg
+	src, err := p.GenerateSource()
+	if err != nil {
+		t.Fatalf("%s: generate: %v", p.Name(), err)
+	}
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("%s: compile: %v\n%s", p.Name(), err, src)
+	}
+	kern, err := prog.Kernel(codegen.KernelName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	a := matrix.New[float64](m, k, matrix.RowMajor)
+	b := matrix.New[float64](k, n, matrix.RowMajor)
+	c := matrix.New[float64](m, n, matrix.RowMajor)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	c.FillRandom(rng)
+	at := matrix.Pack(a, true, k, m, p.Kwg, p.Mwg, p.LayoutA)
+	bp := matrix.Pack(b, false, k, n, p.Kwg, p.Nwg, p.LayoutB)
+	nd := clsim.NDRange{
+		Global: [2]int{m / p.Mwg * p.MdimC, n / p.Nwg * p.NdimC},
+		Local:  [2]int{p.MdimC, p.NdimC},
+	}
+	return func(forceInterp, optimize bool, fuel int64) ([]float64, error) {
+		cc := c.Clone()
+		bound, err := kern.Bind(m, n, k, 1.5, -0.75, at.Data, bp.Data, cc.Data)
+		if err != nil {
+			t.Fatalf("%s: bind: %v", p.Name(), err)
+		}
+		bound.SetInterp(forceInterp)
+		bound.SetOptimize(optimize)
+		bound.SetFuel(fuel)
+		q := optQueue()
+		q.Workers = 1
+		return cc.Data, q.Run(bound, nd)
+	}
+}
+
+// TestOptimizerFuelParity pins structural fuel accounting: the minimal
+// back-edge budget at which a generated kernel completes is identical
+// with the optimizer on, off, and under the interpreter — and one unit
+// below that budget all three engines fault with the same positioned
+// message. The optimizer never adds or removes opJump instructions, so
+// this must hold exactly, not approximately.
+func TestOptimizerFuelParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuel threshold search")
+	}
+	withOptDebugPanic(t)
+	p := codegen.Params{
+		Precision: matrix.Double, Algorithm: codegen.BA,
+		Mwg: 8, Nwg: 8, Kwg: 4, MdimC: 4, NdimC: 4, MdimA: 4, NdimB: 4,
+		Kwi: 2, VectorWidth: 1, SharedA: true, SharedB: true,
+		LayoutA: matrix.LayoutCBL, LayoutB: matrix.LayoutCBL,
+	}
+	run := generatedRunner(t, p, 97)
+	const ceiling = int64(1 << 20)
+	minFuel := func(forceInterp, optimize bool) int64 {
+		if _, err := run(forceInterp, optimize, ceiling); err != nil {
+			t.Fatalf("kernel faults even at fuel ceiling: %v", err)
+		}
+		lo, hi := int64(1), ceiling // run succeeds at hi
+		for lo < hi {
+			mid := lo + (hi-lo)/2
+			if _, err := run(forceInterp, optimize, mid); err != nil {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	opt := minFuel(false, true)
+	raw := minFuel(false, false)
+	interp := minFuel(true, false)
+	if opt != raw || opt != interp {
+		t.Fatalf("fuel thresholds diverge: optimized %d, unoptimized %d, interp %d", opt, raw, interp)
+	}
+	t.Logf("minimal fuel %d in all three engines", opt)
+	_, errOpt := run(false, true, opt-1)
+	_, errRaw := run(false, false, opt-1)
+	_, errInterp := run(true, false, opt-1)
+	if errOpt == nil || errRaw == nil || errInterp == nil {
+		t.Fatalf("expected faults one below threshold: opt=%v raw=%v interp=%v", errOpt, errRaw, errInterp)
+	}
+	if errOpt.Error() != errRaw.Error() || errOpt.Error() != errInterp.Error() {
+		t.Fatalf("fault messages diverge one below threshold:\n opt:    %v\n raw:    %v\n interp: %v", errOpt, errRaw, errInterp)
+	}
+}
+
+// TestOptimizerDifferentialRandomConfigs is the satellite quick.Check
+// property: over random generated-kernel schedules, SetOptimize(false)
+// and the optimized program produce Float64bits-identical outputs with
+// ample fuel, and byte-identical positioned fault strings when starved.
+func TestOptimizerDifferentialRandomConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential property test")
+	}
+	withOptDebugPanic(t)
+	f := func(algSel, mwgS, nwgS, kwgS, vwS, shSel, layA, layB uint8, seed int64) bool {
+		lay := []matrix.Layout{matrix.LayoutRowMajor, matrix.LayoutCBL, matrix.LayoutRBL}
+		p := codegen.Params{
+			Precision: matrix.Double,
+			Algorithm: codegen.Algorithms[algSel%3],
+			MdimC:     4, NdimC: 4,
+			Kwi:     2,
+			SharedA: shSel&1 != 0,
+			SharedB: shSel&2 != 0,
+			LayoutA: lay[layA%3],
+			LayoutB: lay[layB%3],
+		}
+		p.Mwg = []int{8, 16}[mwgS%2]
+		p.Nwg = []int{8, 16}[nwgS%2]
+		p.Kwg = []int{4, 8}[kwgS%2]
+		p.VectorWidth = []int{1, 2}[vwS%2]
+		p.MdimA = p.MdimC
+		p.NdimB = p.NdimC
+		if p.Algorithm == codegen.DB && !p.UsesLocalMemory() {
+			p.SharedB = true
+		}
+		if p.Validate() != nil {
+			return true
+		}
+		run := generatedRunner(t, p, seed)
+		opt, errOpt := run(false, true, 1<<22)
+		raw, errRaw := run(false, false, 1<<22)
+		if errOpt != nil || errRaw != nil {
+			t.Errorf("%s: unexpected fault with ample fuel: opt=%v raw=%v", p.Name(), errOpt, errRaw)
+			return false
+		}
+		for i := range opt {
+			if math.Float64bits(opt[i]) != math.Float64bits(raw[i]) {
+				t.Errorf("%s: optimizer changed C[%d]: opt=%v raw=%v", p.Name(), i, opt[i], raw[i])
+				return false
+			}
+		}
+		_, starvedOpt := run(false, true, 8)
+		_, starvedRaw := run(false, false, 8)
+		if starvedOpt == nil || starvedRaw == nil {
+			t.Errorf("%s: expected fuel faults at budget 8: opt=%v raw=%v", p.Name(), starvedOpt, starvedRaw)
+			return false
+		}
+		if starvedOpt.Error() != starvedRaw.Error() {
+			t.Errorf("%s: starved fault strings diverge:\n opt: %v\n raw: %v", p.Name(), starvedOpt, starvedRaw)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

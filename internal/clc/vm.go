@@ -130,10 +130,18 @@ func (p *compiledKernel) run(it *clsim.Item, args []*variable, gs *groupState, f
 		case opBarrier:
 			it.Barrier()
 		case opMad:
-			at := p.ex[pc]
+			// Contract: mad(a,b,c)/fma(a,b,c) is NOT fused — it lowers to
+			// two separate binopInto calls (multiply, then add) through a
+			// temporary, each rounding to the operands' promoted precision,
+			// exactly as the interpreter evaluates mad as two binopVal
+			// calls. Double rounding is therefore part of the semantics
+			// both engines pin bit-for-bit; no handler may replace this
+			// with a hardware FMA. ex2 carries the multiply's fault
+			// position (it differs from ex only when the optimizer fused a
+			// separate mul+add pair into this opMad).
 			var prod value
-			binopInto(&prod, aMul, &regs[in.a], &regs[in.b], at)
-			binopInto(&regs[in.dst], aAdd, &prod, &regs[in.c], at)
+			binopInto(&prod, aMul, &regs[in.a], &regs[in.b], p.ex2[pc])
+			binopInto(&regs[in.dst], aAdd, &prod, &regs[in.c], p.ex[pc])
 		case opMin, opMax:
 			a, b := &regs[in.a], &regs[in.b]
 			if a.t.IsInt() && b.t.IsInt() {
@@ -182,6 +190,102 @@ func (p *compiledKernel) run(it *clsim.Item, args []*variable, gs *groupState, f
 				st.f32 = make([]float32, def.total)
 			}
 			arrs[in.a] = st
+		case opLoadK:
+			// Bounds statically proven by the optimizer: no check.
+			arrs[in.a].loadFast(&regs[in.dst], in.imm)
+		case opStoreK:
+			arrs[in.a].storeFast(in.imm, &regs[in.c])
+		case opLoadBin:
+			op, side, slot := unpackLoadBin(in.imm)
+			var tmp value
+			arrs[slot].loadInto(&tmp, regs[in.b].asInt(), p.ex2[pc])
+			if side == 0 {
+				binopInto(&regs[in.dst], op, &tmp, &regs[in.a], p.ex[pc])
+			} else {
+				binopInto(&regs[in.dst], op, &regs[in.a], &tmp, p.ex[pc])
+			}
+		case opBinStore:
+			op, slot := unpackBinStore(in.imm)
+			var tmp value
+			binopInto(&tmp, op, &regs[in.a], &regs[in.b], p.ex2[pc])
+			arrs[slot].store(regs[in.c].asInt(), &tmp, p.ex[pc])
+		case opLoadStore:
+			src, dst := unpackLoadStore(in.imm)
+			var tmp value
+			arrs[src].loadInto(&tmp, regs[in.b].asInt(), p.ex2[pc])
+			arrs[dst].store(regs[in.c].asInt(), &tmp, p.ex[pc])
+		case opLoadMad:
+			// Original order preserved: load (its own fault site in ex2),
+			// then multiply and add (sharing the mad position in ex).
+			var tmp, prod value
+			arrs[in.imm].loadInto(&tmp, regs[in.c].asInt(), p.ex2[pc])
+			at := p.ex[pc]
+			binopInto(&prod, aMul, &regs[in.a], &regs[in.b], at)
+			binopInto(&regs[in.dst], aAdd, &prod, &tmp, at)
+		case opMadAcc:
+			// arrs[imm][r[c]] = r[a]*r[b] + arrs[imm][r[c]]. The trailing
+			// store cannot fault: the load of the same element succeeded.
+			arr := arrs[in.imm]
+			idx := regs[in.c].asInt()
+			var tmp, prod value
+			arr.loadInto(&tmp, idx, p.ex2[pc])
+			at := p.ex[pc]
+			binopInto(&prod, aMul, &regs[in.a], &regs[in.b], at)
+			binopInto(&prod, aAdd, &prod, &tmp, at)
+			arr.store(idx, &prod, at)
+		case opMadAccD:
+			// Proven double-scalar operands and element. The explicit
+			// float64 conversion pins the separate mul/add roundings the
+			// generic path performs, forbidding FMA contraction.
+			arr := arrs[in.imm]
+			idx := regs[in.c].i
+			if uint64(idx) >= uint64(len(arr.f64)) {
+				panic(errAt(p.ex2[pc], "index %d out of range [0,%d)", idx, len(arr.f64)))
+			}
+			prod := float64(regs[in.a].f[0] * regs[in.b].f[0])
+			arr.f64[idx] = prod + arr.f64[idx]
+		case opMadAccF:
+			// Float path: every step rounds to float32 exactly where the
+			// generic binopInto/store path does.
+			arr := arrs[in.imm]
+			idx := regs[in.c].i
+			if uint64(idx) >= uint64(len(arr.f32)) {
+				panic(errAt(p.ex2[pc], "index %d out of range [0,%d)", idx, len(arr.f32)))
+			}
+			prod := float64(float32(regs[in.a].f[0] * regs[in.b].f[0]))
+			arr.f32[idx] = float32(prod + float64(arr.f32[idx]))
+		case opLoadD:
+			arr := arrs[in.a]
+			idx := regs[in.b].i
+			if uint64(idx) >= uint64(len(arr.f64)) {
+				panic(errAt(p.ex[pc], "index %d out of range [0,%d)", idx, len(arr.f64)))
+			}
+			dst := &regs[in.dst]
+			dst.t = typeDoubleScalar
+			dst.f[0] = arr.f64[idx]
+		case opLoadF:
+			arr := arrs[in.a]
+			idx := regs[in.b].i
+			if uint64(idx) >= uint64(len(arr.f32)) {
+				panic(errAt(p.ex[pc], "index %d out of range [0,%d)", idx, len(arr.f32)))
+			}
+			dst := &regs[in.dst]
+			dst.t = typeFloatScalar
+			dst.f[0] = float64(arr.f32[idx])
+		case opStoreD:
+			arr := arrs[in.a]
+			idx := regs[in.b].i
+			if uint64(idx) >= uint64(len(arr.f64)) {
+				panic(errAt(p.ex[pc], "index %d out of range [0,%d)", idx, len(arr.f64)))
+			}
+			arr.f64[idx] = regs[in.c].f[0]
+		case opStoreF:
+			arr := arrs[in.a]
+			idx := regs[in.b].i
+			if uint64(idx) >= uint64(len(arr.f32)) {
+				panic(errAt(p.ex[pc], "index %d out of range [0,%d)", idx, len(arr.f32)))
+			}
+			arr.f32[idx] = float32(regs[in.c].f[0])
 		case opErr:
 			panic(p.errs[in.imm])
 		case opHalt:

@@ -23,9 +23,10 @@ func newQueue() *clsim.Queue {
 	return clsim.NewQueue(clsim.NewContext(&clsim.Device{Spec: device.Tahiti()}))
 }
 
-// runBoth compiles src, binds it twice over independent copies of a
-// float64 buffer of length n, runs the bytecode VM and the interpreter,
-// and requires identical faults or bit-identical buffers.
+// runBoth compiles src, binds it three times over independent copies of
+// a float64 buffer of length n, runs the optimized bytecode VM, the
+// unoptimized VM, and the interpreter, and requires identical faults or
+// bit-identical buffers across all three engines.
 func runBoth(t *testing.T, src string, n int, nd clsim.NDRange) ([]float64, error) {
 	t.Helper()
 	prog, err := clc.Compile(src)
@@ -36,7 +37,7 @@ func runBoth(t *testing.T, src string, n int, nd clsim.NDRange) ([]float64, erro
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := func(forceInterp bool) ([]float64, error) {
+	run := func(forceInterp, optimize bool) ([]float64, error) {
 		buf := make([]float64, n)
 		for i := range buf {
 			buf[i] = float64(i%5) * 0.375
@@ -46,26 +47,35 @@ func runBoth(t *testing.T, src string, n int, nd clsim.NDRange) ([]float64, erro
 			t.Fatalf("bind: %v", err)
 		}
 		bk.SetInterp(forceInterp)
+		bk.SetOptimize(optimize)
 		bk.SetFuel(1 << 20)
 		q := newQueue()
 		q.Workers = 1
 		return buf, q.Run(bk, nd)
 	}
-	vmBuf, vmErr := run(false)
-	inBuf, inErr := run(true)
-	if (vmErr == nil) != (inErr == nil) {
-		t.Fatalf("engines disagree on fault:\n vm:     %v\n interp: %v\n%s", vmErr, inErr, src)
+	vmBuf, vmErr := run(false, true)
+	compare := func(name string, altBuf []float64, altErr error) {
+		if (vmErr == nil) != (altErr == nil) {
+			t.Fatalf("engines disagree on fault:\n vm:  %v\n %s: %v\n%s", vmErr, name, altErr, src)
+		}
+		if vmErr != nil {
+			if vmErr.Error() != altErr.Error() {
+				t.Fatalf("engines disagree on fault message:\n vm:  %v\n %s: %v\n%s", vmErr, name, altErr, src)
+			}
+			return
+		}
+		for i := range vmBuf {
+			if math.Float64bits(vmBuf[i]) != math.Float64bits(altBuf[i]) {
+				t.Fatalf("engines disagree at o[%d]: vm=%v %s=%v\n%s", i, vmBuf[i], name, altBuf[i], src)
+			}
+		}
 	}
+	inBuf, inErr := run(true, false)
+	compare("interp", inBuf, inErr)
+	rawBuf, rawErr := run(false, false)
+	compare("vm-noopt", rawBuf, rawErr)
 	if vmErr != nil {
-		if vmErr.Error() != inErr.Error() {
-			t.Fatalf("engines disagree on fault message:\n vm:     %v\n interp: %v\n%s", vmErr, inErr, src)
-		}
 		return nil, vmErr
-	}
-	for i := range vmBuf {
-		if math.Float64bits(vmBuf[i]) != math.Float64bits(inBuf[i]) {
-			t.Fatalf("engines disagree at o[%d]: vm=%v interp=%v\n%s", i, vmBuf[i], inBuf[i], src)
-		}
 	}
 	return vmBuf, nil
 }
@@ -184,9 +194,10 @@ func contains(s, sub string) bool {
 }
 
 // runGeneratedBoth packs random inputs for a codegen schedule, runs the
-// generated source under both engines at a multi-work-group size, and
-// requires bit-identical C buffers. Returns false (instead of failing)
-// for invalid parameter combinations.
+// generated source under all three engines (optimized VM, unoptimized
+// VM, interpreter) at a multi-work-group size, and requires
+// bit-identical C buffers. Returns false (instead of failing) for
+// invalid parameter combinations.
 func runGeneratedBoth(t *testing.T, p codegen.Params, seed int64) bool {
 	t.Helper()
 	if err := p.Validate(); err != nil {
@@ -221,13 +232,14 @@ func runGeneratedBoth(t *testing.T, p codegen.Params, seed int64) bool {
 		Global: [2]int{m / p.Mwg * p.MdimC, n / p.Nwg * p.NdimC},
 		Local:  [2]int{p.MdimC, p.NdimC},
 	}
-	run := func(forceInterp bool) []float64 {
+	run := func(forceInterp, optimize bool) []float64 {
 		cc := c.Clone()
 		bound, err := kern.Bind(m, n, k, 1.5, -0.75, at.Data, bp.Data, cc.Data)
 		if err != nil {
 			t.Fatalf("%s: bind: %v", p.Name(), err)
 		}
 		bound.SetInterp(forceInterp)
+		bound.SetOptimize(optimize)
 		if want := "bytecode"; !forceInterp && bound.Engine() != want {
 			t.Fatalf("%s: engine = %q, want %q", p.Name(), bound.Engine(), want)
 		}
@@ -237,11 +249,15 @@ func runGeneratedBoth(t *testing.T, p codegen.Params, seed int64) bool {
 		}
 		return cc.Data
 	}
-	vm := run(false)
-	in := run(true)
+	vm := run(false, true)
+	raw := run(false, false)
+	in := run(true, false)
 	for i := range vm {
 		if math.Float64bits(vm[i]) != math.Float64bits(in[i]) {
 			t.Fatalf("%s: engines disagree at C[%d]: vm=%v interp=%v", p.Name(), i, vm[i], in[i])
+		}
+		if math.Float64bits(vm[i]) != math.Float64bits(raw[i]) {
+			t.Fatalf("%s: optimizer changed C[%d]: vm=%v vm-noopt=%v", p.Name(), i, vm[i], raw[i])
 		}
 	}
 	return true

@@ -14,6 +14,10 @@ import (
 // executes: a generated BA double kernel with shared __local staging at
 // a multi-work-group size.
 func benchKernel(tb testing.TB, forceInterp bool) (*BoundKernel, *clsim.Queue, clsim.NDRange) {
+	return benchKernelOpt(tb, forceInterp, true)
+}
+
+func benchKernelOpt(tb testing.TB, forceInterp, optimize bool) (*BoundKernel, *clsim.Queue, clsim.NDRange) {
 	p := codegen.Params{
 		Precision: matrix.Double, Algorithm: codegen.BA,
 		Mwg: 16, Nwg: 16, Kwg: 8, MdimC: 4, NdimC: 4, MdimA: 4, NdimB: 4,
@@ -47,6 +51,7 @@ func benchKernel(tb testing.TB, forceInterp bool) (*BoundKernel, *clsim.Queue, c
 		tb.Fatal(err)
 	}
 	bound.SetInterp(forceInterp)
+	bound.SetOptimize(optimize)
 	q := clsim.NewQueue(clsim.NewContext(&clsim.Device{Spec: device.Tahiti()}))
 	nd := clsim.NDRange{
 		Global: [2]int{m / p.Mwg * p.MdimC, n / p.Nwg * p.NdimC},
@@ -56,15 +61,17 @@ func benchKernel(tb testing.TB, forceInterp bool) (*BoundKernel, *clsim.Queue, c
 }
 
 // BenchmarkInterpVsVM compares the AST interpreter against the bytecode
-// VM on the same generated-GEMM kernel phase. CI smokes this pair so
-// the VM's throughput claim stays continuously checked.
+// VM — both the raw compiler output ("vm-noopt", the PR 9 baseline) and
+// the optimized program ("vm") — on the same generated-GEMM kernel
+// phase. CI smokes this trio so the VM's throughput claims stay
+// continuously checked.
 func BenchmarkInterpVsVM(b *testing.B) {
 	for _, eng := range []struct {
-		name        string
-		forceInterp bool
-	}{{"interp", true}, {"vm", false}} {
+		name                  string
+		forceInterp, optimize bool
+	}{{"interp", true, false}, {"vm-noopt", false, false}, {"vm", false, true}} {
 		b.Run(eng.name, func(b *testing.B) {
-			bound, q, nd := benchKernel(b, eng.forceInterp)
+			bound, q, nd := benchKernelOpt(b, eng.forceInterp, eng.optimize)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := q.Run(bound, nd); err != nil {
@@ -75,16 +82,18 @@ func BenchmarkInterpVsVM(b *testing.B) {
 	}
 }
 
-// TestVMSpeedupOverInterpreter pins the tentpole claim: the bytecode VM
-// must run the kernel-phase workload at least 5× faster than the AST
-// interpreter. Wall-clock thresholds are inherently machine-sensitive,
-// so the bar is far below the typical measured ratio.
+// TestVMSpeedupOverInterpreter pins the tentpole claims: the optimized
+// bytecode VM must run the kernel-phase workload at least 10× faster
+// than the AST interpreter, and at least 2× faster than the raw
+// (unoptimized) bytecode — the PR 9 VM. Wall-clock thresholds are
+// inherently machine-sensitive, so both bars sit below the typical
+// measured ratios.
 func TestVMSpeedupOverInterpreter(t *testing.T) {
 	if testing.Short() {
 		t.Skip("speedup measurement")
 	}
-	measure := func(forceInterp bool, iters int) time.Duration {
-		bound, q, nd := benchKernel(t, forceInterp)
+	measure := func(forceInterp, optimize bool, iters int) time.Duration {
+		bound, q, nd := benchKernelOpt(t, forceInterp, optimize)
 		// Warm up pools and caches.
 		if err := q.Run(bound, nd); err != nil {
 			t.Fatal(err)
@@ -98,11 +107,17 @@ func TestVMSpeedupOverInterpreter(t *testing.T) {
 		return time.Since(start)
 	}
 	const iters = 3
-	vm := measure(false, iters)
-	interp := measure(true, iters)
+	vm := measure(false, true, iters)
+	raw := measure(false, false, iters)
+	interp := measure(true, false, iters)
 	ratio := float64(interp) / float64(vm)
-	t.Logf("interp %v, vm %v: %.1fx", interp, vm, ratio)
-	if ratio < 5 {
-		t.Errorf("VM speedup %.2fx, want >= 5x (interp %v, vm %v)", ratio, interp, vm)
+	overRaw := float64(raw) / float64(vm)
+	t.Logf("interp %v, vm-noopt %v, vm %v: %.1fx over interp, %.1fx over noopt",
+		interp, raw, vm, ratio, overRaw)
+	if ratio < 10 {
+		t.Errorf("optimized VM speedup %.2fx over interpreter, want >= 10x (interp %v, vm %v)", ratio, interp, vm)
+	}
+	if overRaw < 2 {
+		t.Errorf("optimized VM speedup %.2fx over unoptimized bytecode, want >= 2x (noopt %v, vm %v)", overRaw, raw, vm)
 	}
 }

@@ -72,6 +72,11 @@ type Options struct {
 	Verify bool
 	// Verifier overrides the gate's check (nil = VerifyParams).
 	Verifier Verifier
+	// VerifyTimeout bounds each finalist verification; 0 disables the
+	// wrap. A hung or pathological verifier run counts as
+	// RejectTimeout for that finalist only — the next-ranked candidate
+	// takes its place.
+	VerifyTimeout time.Duration
 
 	// JournalPath enables stage-1 checkpointing: completed evaluations
 	// append to this JSON-lines file, and a re-run with the same path
@@ -211,6 +216,7 @@ func New(opts Options) (*Tuner, error) {
 	if opts.Verifier == nil {
 		opts.Verifier = VerifyParams
 	}
+	opts.Verifier = WithVerifyTimeout(opts.Verifier, opts.VerifyTimeout)
 	if opts.Context == nil {
 		opts.Context = context.Background()
 	}

@@ -45,19 +45,32 @@ func VerifyParams(d *device.Spec, p *codegen.Params) error {
 
 // VerifySource checks the generated OpenCL C text end to end: generate,
 // compile with clc, and execute on the simulated runtime's bytecode VM
-// at a multi-work-group size (2×2 work-groups, two full k-blocks) so
-// the schedule's staging, barriers and unrolled loops all execute as
-// they would on a device. A loop-fuel bound turns pathological
-// non-terminating kernels into ErrCompile faults instead of hangs.
+// at multi-work-group sizes so the schedule's staging, barriers and
+// unrolled loops all execute as they would on a device. Two grid shapes
+// run: the historical 2×2 work-groups with two full k-blocks, plus a
+// non-square 3×2 grid with three k-blocks that catches bugs the square
+// shape aliases away (group-id mixups, k-loop trip-count errors). The
+// second shape is paid for by the bytecode optimizer: both runs
+// together cost less wall-clock than the single shape did on the
+// unoptimized VM. A loop-fuel bound turns pathological non-terminating
+// kernels into ErrCompile faults instead of hangs.
 func VerifySource(d *device.Spec, p *codegen.Params) error {
-	if p.Precision == matrix.Double {
-		return verifySource[float64](d, p)
+	for _, g := range [][3]int{{2, 2, 2}, {3, 2, 3}} {
+		var err error
+		if p.Precision == matrix.Double {
+			err = verifySource[float64](d, p, g)
+		} else {
+			err = verifySource[float32](d, p, g)
+		}
+		if err != nil {
+			return err
+		}
 	}
-	return verifySource[float32](d, p)
+	return nil
 }
 
-func verifySource[T matrix.Scalar](d *device.Spec, p *codegen.Params) error {
-	m, n, k := 2*p.Mwg, 2*p.Nwg, 2*p.Kwg
+func verifySource[T matrix.Scalar](d *device.Spec, p *codegen.Params, grid [3]int) error {
+	m, n, k := grid[0]*p.Mwg, grid[1]*p.Nwg, grid[2]*p.Kwg
 	src, err := p.GenerateSource()
 	if err != nil {
 		return fmt.Errorf("%w: generate: %v", ErrCompile, err)
@@ -88,7 +101,7 @@ func verifySource[T matrix.Scalar](d *device.Spec, p *codegen.Params) error {
 	if err != nil {
 		return fmt.Errorf("%w: bind: %v", ErrCompile, err)
 	}
-	bound.SetFuel(1 << 24)
+	bound.SetFuel(1 << 26)
 	q := clsim.NewQueue(clsim.NewContext(&clsim.Device{Spec: d}))
 	nd := clsim.NDRange{
 		Global: [2]int{m / p.Mwg * p.MdimC, n / p.Nwg * p.NdimC},

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
 
 	"oclgemm/internal/codegen"
@@ -84,14 +85,56 @@ func TestCorrectnessGateDisqualifiesAndRefills(t *testing.T) {
 // not select an unverified kernel.
 func TestCorrectnessGateAllWrongFails(t *testing.T) {
 	tn, err := New(Options{Device: device.Tahiti(), Precision: matrix.Single,
-		Evaluator: func(d *device.Spec, p *codegen.Params, n int) (float64, error) { return 1, nil },
-		Verify:    true,
-		Verifier:  func(d *device.Spec, p *codegen.Params) error { return ErrWrongResult },
+		Evaluator:     func(d *device.Spec, p *codegen.Params, n int) (float64, error) { return 1, nil },
+		Verify:        true,
+		Verifier:      func(d *device.Spec, p *codegen.Params) error { return ErrWrongResult },
 		MaxCandidates: 300, Finalists: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := tn.Search(); !errors.Is(err, ErrNoViableKernel) {
 		t.Fatalf("want ErrNoViableKernel, got %v", err)
+	}
+}
+
+// A verifier that panics on one specific finalist must disqualify only
+// that finalist — tallied under RejectPanic — while the rest of the
+// batch verifies in parallel and the strategy still returns a winner.
+// This pins the panic-isolation contract of the gate's parallelFor.
+func TestPanickingVerifierRejectsOnlyThatFinalist(t *testing.T) {
+	var panics atomic.Int32
+	tn, err := New(Options{Device: device.Tahiti(), Precision: matrix.Single,
+		Verify:    true,
+		Finalists: 4,
+		Verifier: func(d *device.Spec, p *codegen.Params) error {
+			if p.VectorWidth != 1 {
+				panics.Add(1)
+				panic("synthetic VerifySource crash")
+			}
+			return nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tn.RandomSearch(60, 7)
+	if err != nil {
+		t.Fatalf("RandomSearch must survive a panicking verifier: %v", err)
+	}
+	if panics.Load() == 0 {
+		t.Skip("no vectorized candidate reached the gate; widen the budget")
+	}
+	if got := res.Stats.RejectedBy[RejectPanic]; got == 0 {
+		t.Errorf("RejectedBy[RejectPanic] = %d, want > 0 (panics seen: %d)", got, panics.Load())
+	}
+	if len(res.Finalists) == 0 {
+		t.Fatal("no finalists survived alongside the panicking one")
+	}
+	for _, f := range res.Finalists {
+		if f.Params.VectorWidth != 1 {
+			t.Errorf("finalist %s passed the gate despite its verifier panicking", f.Params.Name())
+		}
+	}
+	if res.Stats.Verified != len(res.Finalists) {
+		t.Errorf("Verified = %d, want %d", res.Stats.Verified, len(res.Finalists))
 	}
 }
